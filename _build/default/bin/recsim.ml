@@ -1,0 +1,228 @@
+(* recsim: run any implemented recovery protocol on a synthetic workload
+   with injected failures, and print normalized metrics.
+
+   Examples:
+     dune exec bin/recsim.exe -- run --protocol damani-garg -n 6 \
+       --failures 3 --oracle
+     dune exec bin/recsim.exe -- run --protocol checkpoint-only -n 8 \
+       --failures 2 --rate 0.1
+     dune exec bin/recsim.exe -- compare -n 6 --failures 3
+     dune exec bin/recsim.exe -- list *)
+
+module Runner = Optimist_runner.Runner
+module Schedule = Optimist_workload.Schedule
+module Traffic = Optimist_workload.Traffic
+module Network = Optimist_net.Network
+module Table = Optimist_util.Table
+open Cmdliner
+
+(* --- shared argument definitions --- *)
+
+let protocol_conv =
+  let parse s =
+    match Runner.protocol_of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown protocol %S (see `recsim list')" s))
+  in
+  let print ppf p = Format.pp_print_string ppf (Runner.protocol_name p) in
+  Arg.conv (parse, print)
+
+let pattern_conv =
+  let parse = function
+    | "uniform" -> Ok Traffic.Uniform
+    | "ring" -> Ok Traffic.Ring
+    | "pipeline" -> Ok Traffic.Pipeline
+    | s -> (
+        match String.index_opt s ':' with
+        | Some i when String.sub s 0 i = "client-server" -> (
+            match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+            | Some k -> Ok (Traffic.Client_server k)
+            | None -> Error (`Msg "client-server:<servers> expects an integer"))
+        | _ ->
+            Error
+              (`Msg
+                "expected uniform | ring | pipeline | client-server:<servers>"))
+  in
+  let print ppf = function
+    | Traffic.Uniform -> Format.pp_print_string ppf "uniform"
+    | Traffic.Ring -> Format.pp_print_string ppf "ring"
+    | Traffic.Pipeline -> Format.pp_print_string ppf "pipeline"
+    | Traffic.Client_server k -> Format.fprintf ppf "client-server:%d" k
+  in
+  Arg.conv (parse, print)
+
+let n_arg =
+  Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let seed_arg =
+  Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let rate_arg =
+  Arg.(
+    value
+    & opt float 0.05
+    & info [ "rate" ] ~docv:"RATE"
+        ~doc:"Environment injections per process per time unit.")
+
+let duration_arg =
+  Arg.(
+    value
+    & opt float 500.0
+    & info [ "duration" ] ~docv:"T" ~doc:"Injection window in virtual time.")
+
+let hops_arg =
+  Arg.(
+    value
+    & opt int 6
+    & info [ "hops" ] ~docv:"HOPS" ~doc:"Forwarding chain length per stimulus.")
+
+let failures_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "failures" ] ~docv:"K"
+        ~doc:"Random crashes in the middle 80% of the run.")
+
+let fifo_arg =
+  Arg.(value & flag & info [ "fifo" ] ~doc:"Use FIFO channels (default: reordering).")
+
+let oracle_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "oracle" ]
+        ~doc:
+          "Attach the ground-truth oracle and audit the run (Damani-Garg \
+           variants only).")
+
+let pattern_arg =
+  Arg.(
+    value
+    & opt pattern_conv Traffic.Uniform
+    & info [ "pattern" ] ~docv:"PATTERN"
+        ~doc:"Workload: uniform, ring, pipeline, client-server:<servers>.")
+
+let make_params protocol n seed rate duration hops failures fifo oracle pattern
+    =
+  let faults =
+    if failures = 0 then []
+    else
+      Schedule.random_crashes
+        ~seed:(Int64.add seed 100L)
+        ~n ~failures
+        ~window:(0.1 *. duration, 0.9 *. duration)
+  in
+  {
+    Runner.protocol;
+    n;
+    seed;
+    pattern;
+    rate;
+    duration;
+    hops;
+    faults;
+    ordering = (if fifo then Network.Fifo else Network.Reorder);
+    with_oracle = oracle;
+  }
+
+(* --- run --- *)
+
+let run_cmd =
+  let protocol_arg =
+    Arg.(
+      value
+      & opt protocol_conv Runner.Damani_garg
+      & info [ "protocol"; "p" ] ~docv:"PROTOCOL" ~doc:"Protocol to run.")
+  in
+  let action protocol n seed rate duration hops failures fifo oracle pattern =
+    let params =
+      make_params protocol n seed rate duration hops failures fifo oracle
+        pattern
+    in
+    let report = Runner.run params in
+    Format.printf "%a@." Runner.pp_report report;
+    if report.Runner.r_violations <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one protocol and print its metrics.")
+    Term.(
+      const action $ protocol_arg $ n_arg $ seed_arg $ rate_arg $ duration_arg
+      $ hops_arg $ failures_arg $ fifo_arg $ oracle_arg $ pattern_arg)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let action n seed rate duration hops failures pattern =
+    let t =
+      Table.create
+        ~columns:
+          [
+            ("protocol", Table.Left);
+            ("delivered", Table.Right);
+            ("rollbacks", Table.Right);
+            ("restarts", Table.Right);
+            ("obsolete", Table.Right);
+            ("piggyback w/msg", Table.Right);
+            ("blocked time", Table.Right);
+          ]
+    in
+    List.iter
+      (fun protocol ->
+        let fifo =
+          match protocol with
+          | Runner.Strom_yemini | Runner.Peterson_kearns -> true
+          | _ -> false
+        in
+        let params =
+          make_params protocol n seed rate duration hops failures fifo false
+            pattern
+        in
+        let r = Runner.run params in
+        let piggyback =
+          float_of_int (Runner.counter r "piggyback_words")
+          /. float_of_int (max 1 (Runner.counter r "sent"))
+        in
+        Table.add_row t
+          [
+            r.Runner.r_protocol;
+            string_of_int (Runner.counter r "delivered");
+            string_of_int (Runner.counter r "rollbacks");
+            string_of_int (Runner.counter r "restarts");
+            string_of_int (Runner.counter r "discarded_obsolete");
+            Printf.sprintf "%.1f" piggyback;
+            Printf.sprintf "%.1f"
+              (float_of_int (Runner.counter r "blocked_time_x1000") /. 1000.0);
+          ])
+      Runner.all_protocols;
+    Format.printf "%s@." (Table.render t)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run every protocol on the same schedule and tabulate.")
+    Term.(
+      const action $ n_arg $ seed_arg $ rate_arg $ duration_arg $ hops_arg
+      $ failures_arg $ pattern_arg)
+
+(* --- list --- *)
+
+let list_cmd =
+  let action () =
+    List.iter
+      (fun p -> print_endline (Runner.protocol_name p))
+      Runner.all_protocols
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the implemented protocols.")
+    Term.(const action $ const ())
+
+let () =
+  let doc =
+    "Simulate optimistic rollback-recovery protocols (Damani-Garg 1996 and \
+     baselines)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "recsim" ~doc) [ run_cmd; compare_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/figure1.ml: Array Format List Optimist_clock

@@ -1,0 +1,1 @@
+examples/figure5.ml: Array Format List Optimist_clock Optimist_core Optimist_net Optimist_oracle String

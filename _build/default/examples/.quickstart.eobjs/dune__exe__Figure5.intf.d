@@ -1,0 +1,1 @@
+examples/figure5.mli:

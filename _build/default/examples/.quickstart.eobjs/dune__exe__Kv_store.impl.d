@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Format Int List Map Optimist_core Optimist_net Optimist_oracle Optimist_util String

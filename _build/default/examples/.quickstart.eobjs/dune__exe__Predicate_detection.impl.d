@@ -1,0 +1,1 @@
+examples/predicate_detection.ml: Array Format Hashtbl List Optimist_clock Optimist_core Optimist_oracle Optimist_workload Option Queue

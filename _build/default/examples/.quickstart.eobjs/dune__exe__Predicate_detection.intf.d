@@ -1,0 +1,1 @@
+examples/predicate_detection.mli:

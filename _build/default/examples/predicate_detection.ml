@@ -1,0 +1,158 @@
+(* FTVC beyond recovery: weak conjunctive predicate detection on a failing
+   computation.
+
+   Section 4 of the paper notes that the fault-tolerant vector clock "is of
+   independent interest as it can also be applied to other distributed
+   algorithms such as distributed predicate detection [9]". This example
+   plays that out: a passive monitor collects the FTVCs of the states in
+   which each process satisfies a local predicate, and — because Theorem 1
+   guarantees the FTVC order coincides with causality on useful states even
+   across failures and rollbacks — detects whether some consistent cut
+   satisfied the conjunction, using the classic Garg-Waldecker queue
+   algorithm with FTVC concurrency.
+
+   Run with:  dune exec examples/predicate_detection.exe *)
+
+module Ftvc = Optimist_clock.Ftvc
+module Types = Optimist_core.Types
+module Process = Optimist_core.Process
+module System = Optimist_core.System
+module Oracle = Optimist_oracle.Oracle
+module Traffic = Optimist_workload.Traffic
+module Schedule = Optimist_workload.Schedule
+
+(* The local predicate: the process has processed a number of messages
+   congruent to 2 mod 5. *)
+let local_predicate (s : Traffic.state) = s.Traffic.count mod 5 = 2
+
+(* Weak-conjunctive-predicate detection: advance per-process candidate
+   queues until the heads are pairwise concurrent (a consistent cut) or a
+   queue runs dry. *)
+let detect_wcp queues =
+  let n = Array.length queues in
+  let heads = Array.map (fun q -> Queue.peek_opt q) queues in
+  let rec loop () =
+    if Array.exists (fun h -> h = None) heads then None
+    else begin
+      (* Find a head that happens-before another: it can never be part of
+         a concurrent cut with the later one, so discard it. *)
+      let advanced = ref false in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j then
+            match (heads.(i), heads.(j)) with
+            | Some ci, Some cj when Ftvc.lt ci cj ->
+                ignore (Queue.pop queues.(i));
+                heads.(i) <- Queue.peek_opt queues.(i);
+                advanced := true
+            | _ -> ()
+        done
+      done;
+      if not !advanced then
+        Some (Array.map (fun h -> Option.get h) heads)
+      else loop ()
+    end
+  in
+  loop ()
+
+let () =
+  let n = 3 in
+  let oracle = Oracle.create ~n in
+  let otr = Oracle.tracer oracle in
+
+  (* The monitor: record the clock of every state satisfying the local
+     predicate. States later lost or rolled back must be purged — exactly
+     the bookkeeping the oracle already does, so we reuse its statuses by
+     recording candidate clocks and filtering at the end. *)
+  let candidates = Array.init n (fun _ -> ref []) in
+  let tracer =
+    {
+      otr with
+      Types.state_created =
+        (fun ~pid ~clock ~kind ->
+          otr.Types.state_created ~pid ~clock ~kind;
+          ());
+    }
+  in
+  let app0 = Traffic.app ~n Traffic.Uniform in
+  (* Wrap the application to evaluate the local predicate on each new
+     state; the clock to record is the process's clock after delivery,
+     which we capture through a post-delivery peek. *)
+  let sys = ref None in
+  let app =
+    {
+      app0 with
+      Types.on_message =
+        (fun ~me ~src s m ->
+          let s', sends = app0.Types.on_message ~me ~src s m in
+          (match !sys with
+          | Some system when local_predicate s' ->
+              let p = System.process system me in
+              (* The clock of the delivery state: current clock of the
+                 process (already advanced for this delivery). During
+                 replay this re-fires, which is harmless: the same clock
+                 value is recorded again and deduplicated below. *)
+              candidates.(me) := Process.clock p :: !(candidates.(me))
+          | _ -> ());
+          (s', sends));
+    }
+  in
+  let system = System.create ~seed:4242L ~tracer ~n ~app () in
+  sys := Some system;
+  let injections =
+    Schedule.poisson_injections ~seed:99L ~n ~rate:0.05 ~duration:500.0 ~hops:6
+  in
+  List.iter
+    (fun i ->
+      System.inject_at system ~at:i.Schedule.at ~pid:i.Schedule.pid
+        (Traffic.fresh ~key:i.Schedule.key ~hops:i.Schedule.hops))
+    injections;
+  System.fail_at system ~at:250.0 ~pid:2;
+  System.run system;
+
+  (match Oracle.check oracle with
+  | [] -> ()
+  | _ ->
+      Format.printf "computation inconsistent, aborting@.";
+      exit 1);
+
+  (* Deduplicate (replay re-records) and keep only clocks of useful
+     states: a clock is useful here iff it is dominated by the owner's
+     final clock in the surviving computation (rolled-back branches are
+     not). *)
+  let final = Array.map Process.clock (System.processes system) in
+  let queues =
+    Array.init n (fun i ->
+        let q = Queue.create () in
+        let seen = Hashtbl.create 64 in
+        List.iter
+          (fun c ->
+            let key = Format.asprintf "%a" Ftvc.pp c in
+            if (not (Hashtbl.mem seen key)) && Ftvc.leq c final.(i) then begin
+              Hashtbl.add seen key ();
+              Queue.push c q
+            end)
+          (List.rev !(candidates.(i)));
+        q)
+  in
+  Array.iteri
+    (fun i q ->
+      Format.printf "P%d: %d candidate states satisfy the local predicate@." i
+        (Queue.length q))
+    queues;
+  match detect_wcp queues with
+  | Some cut ->
+      Format.printf "consistent cut found where all local predicates hold:@.";
+      Array.iteri (fun i c -> Format.printf "  P%d at %a@." i Ftvc.pp c) cut;
+      (* Verify pairwise concurrency — the defining property of a cut. *)
+      Array.iteri
+        (fun i ci ->
+          Array.iteri
+            (fun j cj -> if i <> j then assert (Ftvc.concurrent ci cj))
+            cut)
+        cut;
+      Format.printf
+        "predicate detected across a failure: FTVC causality (Theorem 1) @.";
+      Format.printf "made the monitor work unmodified@."
+  | None ->
+      Format.printf "no consistent cut satisfies the predicate in this run@."

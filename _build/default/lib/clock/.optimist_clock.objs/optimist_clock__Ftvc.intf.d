@@ -1,0 +1,1 @@
+lib/clock/ftvc.mli: Format

@@ -1,0 +1,1 @@
+lib/clock/matrix.ml: Array Format Ftvc

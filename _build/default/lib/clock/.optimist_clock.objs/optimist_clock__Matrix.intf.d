@@ -1,0 +1,1 @@
+lib/clock/matrix.mli: Format Ftvc

@@ -1,0 +1,1 @@
+lib/clock/vclock.mli: Format

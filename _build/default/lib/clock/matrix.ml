@@ -1,0 +1,47 @@
+type t = { me : int; rows : Ftvc.t array }
+
+(* Row j starts as j's initial clock: "I know that j started". *)
+let create ~n ~me = { me; rows = Array.init n (fun i -> Ftvc.create ~n ~me:i) }
+
+let me t = t.me
+
+let size t = Array.length t.rows
+
+let own t = t.rows.(t.me)
+
+let get t ~about = t.rows.(about)
+
+let set_own t clock =
+  let rows = Array.copy t.rows in
+  rows.(t.me) <- clock;
+  { t with rows }
+
+let deliver t ~received =
+  if Array.length received.rows <> Array.length t.rows then
+    invalid_arg "Matrix.deliver: size mismatch";
+  let rows =
+    Array.mapi
+      (fun j row ->
+        let row = Ftvc.join row received.rows.(j) in
+        (* The sender knows itself at least as well as its row about
+           itself claims. *)
+        if j = received.me then Ftvc.join row (own received) else row)
+      t.rows
+  in
+  (* The own row performs the ordinary FTVC receive transition. *)
+  rows.(t.me) <- Ftvc.deliver rows.(t.me) ~received:(own received);
+  { t with rows }
+
+let entries t = Array.map Ftvc.entries t.rows
+
+let of_entries ~me rows =
+  { me; rows = Array.mapi (fun i row -> Ftvc.of_entries ~me:i row) rows }
+
+let size_words t =
+  let n = Array.length t.rows in
+  2 * n * n
+
+let pp ppf t =
+  Array.iteri
+    (fun i row -> Format.fprintf ppf "@[row %d: %a@]@\n" i Ftvc.pp row)
+    t.rows

@@ -1,0 +1,51 @@
+(** Matrix clock over FTVC rows — the "two levels of partial order"
+    structure of Smith-Johnson-Tygar [25] that the paper's Table 1 compares
+    against.
+
+    Process [i]'s matrix holds one FTVC per process: row [i] is [i]'s own
+    fault-tolerant vector clock, and row [j] is the latest FTVC of [j] that
+    [i] has causal knowledge of. Messages piggyback the whole matrix —
+    O(n²) entries, each an (incarnation, timestamp) pair, which is the
+    O(n²·f)-timestamp cost the paper criticises (SJT entries carry
+    per-incarnation vectors; the incarnation dimension shows up here in the
+    versions inside the entries).
+
+    The matrix gives knowledge-of-knowledge: [get m ~about:j] answers "what
+    do I know that j knew?", which SJT's recovery uses to decide what
+    information is safely disseminated. Rows merge entrywise with the FTVC
+    rule (version-major), so every row is itself a valid FTVC. *)
+
+type t
+
+val create : n:int -> me:int -> t
+(** Row [me] is the initial FTVC of [me]; every other row is all-bottom
+    (knowledge of nothing). *)
+
+val me : t -> int
+
+val size : t -> int
+
+val own : t -> Ftvc.t
+(** Row [me] — the process's ordinary FTVC. *)
+
+val get : t -> about:int -> Ftvc.t
+(** Row [about]: the latest clock of [about] this process knows. *)
+
+val set_own : t -> Ftvc.t -> t
+(** Replace row [me]; used after the FTVC transitions (send/deliver/
+    restart/rollback) computed on {!own}. *)
+
+val deliver : t -> received:t -> t
+(** Receive rule: every row merges entrywise with the sender's matrix, the
+    sender's row also absorbs the sender's own row (the sender knows itself
+    best), then row [me] ticks. *)
+
+val entries : t -> Ftvc.entry array array
+(** Fresh copy, row-major. *)
+
+val of_entries : me:int -> Ftvc.entry array array -> t
+
+val size_words : t -> int
+(** Piggyback cost: 2·n² machine words. *)
+
+val pp : Format.formatter -> t -> unit

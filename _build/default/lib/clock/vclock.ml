@@ -1,0 +1,47 @@
+type t = int array
+
+let create ~n ~me =
+  if n <= 0 || me < 0 || me >= n then invalid_arg "Vclock.create";
+  let c = Array.make n 0 in
+  c.(me) <- 1;
+  c
+
+let size = Array.length
+
+let get t i = t.(i)
+
+let tick t ~me =
+  let c = Array.copy t in
+  c.(me) <- c.(me) + 1;
+  c
+
+let merge t ~me received =
+  if Array.length t <> Array.length received then
+    invalid_arg "Vclock.merge: size mismatch";
+  let c = Array.mapi (fun i x -> max x received.(i)) t in
+  c.(me) <- c.(me) + 1;
+  c
+
+let leq a b =
+  let n = Array.length a in
+  let rec loop i = i >= n || (a.(i) <= b.(i) && loop (i + 1)) in
+  Array.length b = n && loop 0
+
+let equal a b = a = b
+
+let lt a b = leq a b && not (equal a b)
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let compare = Stdlib.compare
+
+let to_list = Array.to_list
+
+let of_list = Array.of_list
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       Format.pp_print_int)
+    (to_list t)

@@ -1,0 +1,43 @@
+(** Mattern/Fidge vector clocks (failure-free).
+
+    The classic construction the paper extends: one integer timestamp per
+    process. Used by the failure-free predicate-detection example and by
+    baseline protocols that assume vector clocks without versions
+    (Peterson-Kearns, Sistla-Welch). Values are immutable; operations return
+    fresh vectors. *)
+
+type t
+
+val create : n:int -> me:int -> t
+(** Initial clock of process [me] in a system of [n] processes: all zero
+    except own component, which starts at 1 (first state). *)
+
+val size : t -> int
+
+val get : t -> int -> int
+
+val tick : t -> me:int -> t
+(** Advance own component by one. *)
+
+val merge : t -> me:int -> t -> t
+(** [merge c ~me received] is the receive rule: componentwise max, then own
+    component advanced. *)
+
+val leq : t -> t -> bool
+(** Pointwise [<=]. *)
+
+val lt : t -> t -> bool
+(** Strictly less: [leq] and different — Mattern's causality order. *)
+
+val concurrent : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order extending nothing in particular; for use as a map key. *)
+
+val to_list : t -> int list
+
+val of_list : int list -> t
+
+val pp : Format.formatter -> t -> unit

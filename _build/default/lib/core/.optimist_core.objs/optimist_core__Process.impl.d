@@ -1,0 +1,1 @@
+lib/core/process.ml: Array Hashtbl List Optimist_clock Optimist_history Optimist_net Optimist_sim Optimist_storage Optimist_util Types

@@ -1,0 +1,1 @@
+lib/core/process.mli: Optimist_clock Optimist_history Optimist_net Optimist_sim Optimist_util Types

@@ -1,0 +1,1 @@
+lib/core/system.ml: Array Optimist_net Optimist_sim Optimist_util Process Types

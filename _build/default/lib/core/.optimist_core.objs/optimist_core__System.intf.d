@@ -1,0 +1,1 @@
+lib/core/system.mli: Optimist_net Optimist_sim Process Types

@@ -1,0 +1,106 @@
+(** One process running the Damani-Garg recovery protocol (paper Figure 4).
+
+    The process wraps a piecewise-deterministic application with:
+    - an FTVC maintained per Figure 2;
+    - a history table maintained per Figure 3;
+    - receiver-side message logging with asynchronous flush, periodic
+      checkpointing, and synchronous token logging;
+    - the receive path: obsolete-message discard (Lemma 4), deliverability
+      postponement (Section 6.1), then delivery;
+    - restart after a failure (Section 6.2) and rollback on an orphaning
+      token (Sections 6.3–6.4).
+
+    All scheduling runs on the shared simulation engine; message transport
+    goes through the shared network, with tokens on the reliable control
+    plane. *)
+
+module Engine = Optimist_sim.Engine
+module Network = Optimist_net.Network
+module Ftvc = Optimist_clock.Ftvc
+module History = Optimist_history.History
+
+type ('s, 'm) t
+
+val create :
+  engine:Engine.t ->
+  net:'m Types.wire Network.t ->
+  app:('s, 'm) Types.app ->
+  id:int ->
+  n:int ->
+  ?config:Types.config ->
+  ?tracer:Types.tracer ->
+  ?on_output:(pid:int -> seq:int -> 'm -> unit) ->
+  next_uid:(unit -> int) ->
+  unit ->
+  ('s, 'm) t
+(** Creates the process, installs its network handler, records the initial
+    checkpoint, and starts the periodic flush/checkpoint timers.
+
+    [on_output] receives application outputs (handler sends addressed to
+    {!Types.output_dst}). With [config.commit_outputs] they are delivered
+    only once the producing state can never be lost or rolled back
+    (Section 6.5); otherwise immediately (optimistically). *)
+
+val id : ('s, 'm) t -> int
+
+val alive : ('s, 'm) t -> bool
+
+val state : ('s, 'm) t -> 's
+(** Current application state. *)
+
+val clock : ('s, 'm) t -> Ftvc.t
+
+val history : ('s, 'm) t -> History.t
+
+val version : ('s, 'm) t -> int
+(** Current incarnation number. *)
+
+val inject : ('s, 'm) t -> 'm -> unit
+(** Deliver an environment stimulus: logged and replayed like a message
+    receive, with a bottom clock. Ignored while the process is down. *)
+
+val fail : ('s, 'm) t -> unit
+(** Crash now: volatile state (unflushed log suffix, held messages, clock,
+    history) is lost; the restart event runs [restart_delay] later. Ignored
+    if already down. *)
+
+val checkpoint_now : ('s, 'm) t -> unit
+(** Force a checkpoint (flushes first, like the periodic one). *)
+
+val flush_now : ('s, 'm) t -> unit
+
+val held_count : ('s, 'm) t -> int
+(** Postponed messages currently waiting for tokens. *)
+
+val pending_output_count : ('s, 'm) t -> int
+(** Outputs buffered awaiting the commit rule. *)
+
+val committed_output_count : ('s, 'm) t -> int
+(** Outputs released to the environment so far. *)
+
+val share_frontier : ('s, 'm) t -> unit
+(** Broadcast this process's logged-frontier view on the control plane;
+    used to drain pending outputs once application traffic has quiesced.
+    No-op unless [commit_outputs] is enabled. *)
+
+val collect_garbage : ('s, 'm) t -> int * int
+(** Reclaim checkpoints and log entries below the newest {e stable}
+    checkpoint — one whose dependencies all lie within the logged
+    frontiers, which no future rollback can undercut (Section 6.5 remark
+    2). Returns (checkpoints, log entries) reclaimed; (0, 0) unless
+    [commit_outputs] enables frontier tracking. *)
+
+val checkpoint_count : ('s, 'm) t -> int
+
+val log_length : ('s, 'm) t -> int
+(** Stable + volatile entries currently retained (above the GC floor the
+    numbering is unaffected). *)
+
+val counters : ('s, 'm) t -> Optimist_util.Stats.Counters.t
+(** Per-process protocol counters: [delivered], [injected], [sent],
+    [discarded_obsolete], [held], [released], [rollbacks], [restarts],
+    [tokens_received], [replayed], [piggyback_words], [log_truncated],
+    [checkpoints]. *)
+
+val history_record_count : ('s, 'm) t -> int
+(** Current O(n·f) history footprint (Section 6.9(3)). *)

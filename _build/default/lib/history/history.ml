@@ -1,0 +1,97 @@
+module Ftvc = Optimist_clock.Ftvc
+
+type kind = Token | Message
+
+type record = { kind : kind; ver : int; ts : int }
+
+(* One hash table per peer process, keyed by version. The paper stores "a
+   record for every known version of all processes"; versions are dense and
+   few (O(f)), so a table per peer keeps lookups O(1). *)
+type t = { me : int; tables : (int, record) Hashtbl.t array }
+
+let create ~n ~me =
+  if n <= 0 || me < 0 || me >= n then invalid_arg "History.create";
+  let tables = Array.init n (fun _ -> Hashtbl.create 4) in
+  for j = 0 to n - 1 do
+    let ts = if j = me then 1 else 0 in
+    Hashtbl.replace tables.(j) 0 { kind = Message; ver = 0; ts }
+  done;
+  { me; tables }
+
+let copy t =
+  { t with tables = Array.map Hashtbl.copy t.tables }
+
+let n t = Array.length t.tables
+
+let me t = t.me
+
+let find t ~pid ~ver = Hashtbl.find_opt t.tables.(pid) ver
+
+let note_message_entry t ~pid (e : Ftvc.entry) =
+  match find t ~pid ~ver:e.ver with
+  | Some { kind = Token; _ } ->
+      (* Token records are authoritative; the message either passed the
+         obsolete test (its ts is within the surviving prefix) or was
+         discarded before reaching here. Either way it adds nothing. *)
+      ()
+  | Some { kind = Message; ts; _ } when ts >= e.ts -> ()
+  | Some { kind = Message; _ } | None ->
+      Hashtbl.replace t.tables.(pid) e.ver
+        { kind = Message; ver = e.ver; ts = e.ts }
+
+let note_clock t ~sender_clock =
+  Array.iteri (fun pid e -> note_message_entry t ~pid e) sender_clock
+
+let note_token t ~pid ~ver ~ts =
+  Hashtbl.replace t.tables.(pid) ver { kind = Token; ver; ts }
+
+let has_token t ~pid ~ver =
+  match find t ~pid ~ver with Some { kind = Token; _ } -> true | _ -> false
+
+let tokens_complete_below t ~pid ~ver =
+  let rec loop l = l >= ver || (has_token t ~pid ~ver:l && loop (l + 1)) in
+  loop 0
+
+let message_obsolete t ~clock =
+  let n = Array.length clock in
+  let rec loop j =
+    if j >= n then false
+    else
+      let (e : Ftvc.entry) = clock.(j) in
+      match find t ~pid:j ~ver:e.ver with
+      | Some { kind = Token; ts; _ } when ts < e.ts -> true
+      | _ -> loop (j + 1)
+  in
+  loop 0
+
+let orphaned_by_token t ~pid ~ver ~ts =
+  match find t ~pid ~ver with
+  | Some { kind = Message; ts = ts'; _ } -> ts < ts'
+  | _ -> false
+
+let survives_token t ~pid ~ver ~ts = not (orphaned_by_token t ~pid ~ver ~ts)
+
+let max_known_version t ~pid =
+  Hashtbl.fold (fun ver _ acc -> max ver acc) t.tables.(pid) 0
+
+let record_count t =
+  Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.tables
+
+let records t ~pid =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.tables.(pid) []
+  |> List.sort (fun a b -> compare a.ver b.ver)
+
+let pp ppf t =
+  let pp_record ppf r =
+    Format.fprintf ppf "(%s,%d,%d)"
+      (match r.kind with Token -> "t" | Message -> "m")
+      r.ver r.ts
+  in
+  Array.iteri
+    (fun pid _ ->
+      Format.fprintf ppf "@[P%d: %a@]@\n" pid
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+           pp_record)
+        (records t ~pid))
+    t.tables

@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Float List Optimist_sim Optimist_util Printf

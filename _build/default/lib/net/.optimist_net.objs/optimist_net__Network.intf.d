@@ -1,0 +1,1 @@
+lib/net/network.mli: Optimist_sim Optimist_util

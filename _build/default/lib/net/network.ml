@@ -1,0 +1,194 @@
+module Engine = Optimist_sim.Engine
+module Prng = Optimist_util.Prng
+module Counters = Optimist_util.Stats.Counters
+
+type traffic = Data | Control
+
+type ordering = Fifo | Reorder
+
+type latency = Constant of float | Uniform of float * float | Exponential of float
+
+type config = {
+  n : int;
+  ordering : ordering;
+  latency : latency;
+  control_latency : latency option;
+  drop_probability : float;
+  duplicate_probability : float;
+}
+
+let default_config ~n =
+  {
+    n;
+    ordering = Reorder;
+    latency = Uniform (1.0, 10.0);
+    control_latency = None;
+    drop_probability = 0.0;
+    duplicate_probability = 0.0;
+  }
+
+type 'a envelope = {
+  src : int;
+  dst : int;
+  sent_at : Engine.time;
+  traffic : traffic;
+  payload : 'a;
+}
+
+type 'a t = {
+  engine : Engine.t;
+  cfg : config;
+  rng : Prng.t;
+  handlers : ('a envelope -> unit) option array;
+  (* Next available delivery instant per (src, dst) channel, for FIFO. *)
+  channel_clock : Engine.time array array;
+  mutable group_of : int array option; (* partition group per endpoint *)
+  down : bool array;
+  (* Traffic blocked by a partition, waiting for heal. *)
+  mutable partition_held : 'a envelope list;
+  (* Traffic addressed to a down endpoint, waiting for it to come up. *)
+  down_held : 'a envelope list array;
+  stats : Counters.t;
+}
+
+let create engine cfg =
+  if cfg.n <= 0 then invalid_arg "Network.create: n must be positive";
+  {
+    engine;
+    cfg;
+    rng = Prng.split (Engine.rng engine);
+    handlers = Array.make cfg.n None;
+    channel_clock = Array.make_matrix cfg.n cfg.n 0.0;
+    group_of = None;
+    down = Array.make cfg.n false;
+    partition_held = [];
+    down_held = Array.make cfg.n [];
+    stats = Counters.create ();
+  }
+
+let config t = t.cfg
+
+let stats t = t.stats
+
+let set_handler t id f =
+  if id < 0 || id >= t.cfg.n then invalid_arg "Network.set_handler: bad id";
+  t.handlers.(id) <- Some f
+
+let draw_latency t traffic =
+  let model =
+    match (traffic, t.cfg.control_latency) with
+    | Control, Some m -> m
+    | (Control | Data), _ -> t.cfg.latency
+  in
+  match model with
+  | Constant d -> d
+  | Uniform (lo, hi) -> Prng.uniform_float t.rng ~lo ~hi
+  | Exponential mean -> Prng.exponential t.rng ~mean
+
+let reachable t src dst =
+  match t.group_of with
+  | None -> true
+  | Some groups -> groups.(src) = groups.(dst)
+
+let is_down t id = t.down.(id)
+
+let traffic_label = function Data -> "data" | Control -> "control"
+
+let deliver t env =
+  if t.down.(env.dst) then begin
+    Counters.incr t.stats "held.down";
+    t.down_held.(env.dst) <- env :: t.down_held.(env.dst)
+  end
+  else begin
+    Counters.incr t.stats (Printf.sprintf "delivered.%s" (traffic_label env.traffic));
+    match t.handlers.(env.dst) with
+    | Some f -> f env
+    | None ->
+        failwith (Printf.sprintf "Network: no handler installed for endpoint %d" env.dst)
+  end
+
+(* Schedule one copy of [env] for delivery, honouring FIFO channel clocks. *)
+let schedule_delivery t env =
+  let lat = draw_latency t env.traffic in
+  let arrival =
+    match t.cfg.ordering with
+    | Reorder -> Engine.now t.engine +. lat
+    | Fifo ->
+        let floor = t.channel_clock.(env.src).(env.dst) in
+        let at = Float.max (Engine.now t.engine +. lat) floor in
+        (* Strictly increasing per channel so ties cannot reorder. *)
+        t.channel_clock.(env.src).(env.dst) <- at +. 1e-9;
+        at
+  in
+  ignore (Engine.schedule_at t.engine arrival (fun () -> deliver t env))
+
+let send_envelope t env =
+  Counters.incr t.stats (Printf.sprintf "sent.%s" (traffic_label env.traffic));
+  if not (reachable t env.src env.dst) then begin
+    Counters.incr t.stats "held.partition";
+    t.partition_held <- env :: t.partition_held
+  end
+  else begin
+    match env.traffic with
+    | Control -> schedule_delivery t env
+    | Data ->
+        if Prng.bernoulli t.rng t.cfg.drop_probability then
+          Counters.incr t.stats "dropped.data"
+        else begin
+          schedule_delivery t env;
+          if Prng.bernoulli t.rng t.cfg.duplicate_probability then begin
+            Counters.incr t.stats "duplicated.data";
+            schedule_delivery t env
+          end
+        end
+  end
+
+let send t ?(traffic = Data) ~src ~dst payload =
+  if src < 0 || src >= t.cfg.n || dst < 0 || dst >= t.cfg.n then
+    invalid_arg "Network.send: endpoint out of range";
+  send_envelope t
+    { src; dst; sent_at = Engine.now t.engine; traffic; payload }
+
+let broadcast t ?(traffic = Data) ~src payload =
+  for dst = 0 to t.cfg.n - 1 do
+    if dst <> src then send t ~traffic ~src ~dst payload
+  done
+
+let partition t groups =
+  let assignment = Array.make t.cfg.n (-1) in
+  List.iteri
+    (fun g members ->
+      List.iter
+        (fun id ->
+          if id < 0 || id >= t.cfg.n then
+            invalid_arg "Network.partition: endpoint out of range";
+          assignment.(id) <- g)
+        members)
+    groups;
+  (* Endpoints not named form an implicit final group. *)
+  let implicit = List.length groups in
+  Array.iteri (fun id g -> if g = -1 then assignment.(id) <- implicit) assignment;
+  t.group_of <- Some assignment
+
+let heal t =
+  t.group_of <- None;
+  let held = List.rev t.partition_held in
+  t.partition_held <- [];
+  List.iter (fun env -> send_envelope t env) held
+
+let set_down t id = t.down.(id) <- true
+
+let set_up t ?(drop_held_data = false) id =
+  t.down.(id) <- false;
+  let held = List.rev t.down_held.(id) in
+  t.down_held.(id) <- [];
+  let keep env =
+    match env.traffic with
+    | Control -> true
+    | Data -> not drop_held_data
+  in
+  List.iter
+    (fun env ->
+      if keep env then schedule_delivery t env
+      else Counters.incr t.stats "dropped.data")
+    held

@@ -1,0 +1,1 @@
+lib/oracle/oracle.ml: Array Format Hashtbl List Optimist_clock Optimist_core Optimist_util Printf

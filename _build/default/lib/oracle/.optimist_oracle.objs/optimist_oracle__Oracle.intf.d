@@ -1,0 +1,1 @@
+lib/oracle/oracle.mli: Format Optimist_clock Optimist_core

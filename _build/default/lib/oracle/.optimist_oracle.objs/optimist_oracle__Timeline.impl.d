@@ -1,0 +1,1 @@
+lib/oracle/timeline.ml: Array Buffer Format List Optimist_clock Optimist_core Oracle Printf String

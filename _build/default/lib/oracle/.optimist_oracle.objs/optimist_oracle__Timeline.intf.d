@@ -1,0 +1,1 @@
+lib/oracle/timeline.mli: Format Oracle

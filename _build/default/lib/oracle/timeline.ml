@@ -1,0 +1,66 @@
+module Ftvc = Optimist_clock.Ftvc
+module Types = Optimist_core.Types
+
+let clock_string clock =
+  let b = Buffer.create 32 in
+  Array.iter
+    (fun (e : Ftvc.entry) ->
+      Buffer.add_string b (Printf.sprintf "(%d,%d)" e.Ftvc.ver e.Ftvc.ts))
+    (Ftvc.entries clock);
+  Buffer.contents b
+
+let label (v : Oracle.node_view) =
+  let kind =
+    match v.Oracle.v_kind with
+    | None -> "."
+    | Some (Types.K_deliver uid) -> Printf.sprintf "recv<-m%d" uid
+    | Some Types.K_inject -> "stim"
+    | Some Types.K_send -> "send"
+    | Some Types.K_restart -> "RESTART"
+    | Some Types.K_rollback -> "ROLLBACK"
+  in
+  let fate =
+    match v.Oracle.v_status with
+    | Oracle.Live -> ""
+    | Oracle.Lost -> " +lost"
+    | Oracle.Discarded -> " +dead"
+  in
+  Printf.sprintf "%s %s%s" kind (clock_string v.Oracle.v_clock) fate
+
+let render ?(max_rows = 60) t =
+  let rows = ref [] in
+  let count = ref 0 in
+  let n = ref 0 in
+  Oracle.iter_nodes t (fun v ->
+      n := max !n (v.Oracle.v_pid + 1);
+      incr count;
+      rows := (v.Oracle.v_id, v.Oracle.v_pid, label v) :: !rows);
+  let rows = List.rev !rows in
+  let elided = max 0 (!count - max_rows) in
+  let rows = if elided > 0 then List.filteri (fun i _ -> i >= elided) rows else rows in
+  let n = !n in
+  (* Column width: widest label per process, bounded. *)
+  let widths = Array.make n 8 in
+  List.iter
+    (fun (_, pid, l) -> widths.(pid) <- max widths.(pid) (min 44 (String.length l)))
+    rows;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%-5s" "#");
+  for pid = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "%-*s " widths.(pid) (Printf.sprintf "P%d" pid))
+  done;
+  Buffer.add_char buf '\n';
+  if elided > 0 then
+    Buffer.add_string buf (Printf.sprintf "(... %d earlier states elided ...)\n" elided);
+  List.iter
+    (fun (id, pid, l) ->
+      Buffer.add_string buf (Printf.sprintf "%-5d" id);
+      for j = 0 to n - 1 do
+        let cell = if j = pid then l else "" in
+        Buffer.add_string buf (Printf.sprintf "%-*s " widths.(j) cell)
+      done;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (render t)

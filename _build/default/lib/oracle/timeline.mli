@@ -1,0 +1,23 @@
+(** ASCII space-time rendering of a computation recorded by the oracle —
+    the textual analogue of the paper's Figures 1 and 5.
+
+    One column per process; rows follow state-creation order (a
+    linearisation consistent with causality). Each state shows its kind,
+    its FTVC, and its fate:
+
+    {v
+    #    P0                      P1
+    0    . (0,1)(0,0)            . (0,0)(0,1)
+    3    send (0,2)(0,0)
+    4                            recv<-#1 (0,2)(0,3) +dead
+    7                            RESTART (0,2)(1,0)
+    v}
+
+    [+lost] marks states destroyed by a failure, [+dead] states discarded
+    by a rollback. *)
+
+val render : ?max_rows:int -> Oracle.t -> string
+(** At most [max_rows] (default 60) most-recent rows; older rows are
+    elided with a count. *)
+
+val pp : Format.formatter -> Oracle.t -> unit

@@ -1,0 +1,1 @@
+lib/protocols/coordinated.mli: Optimist_core Optimist_net Optimist_sim Optimist_util

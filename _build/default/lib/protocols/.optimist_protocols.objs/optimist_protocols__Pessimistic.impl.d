@@ -1,0 +1,1 @@
+lib/protocols/pessimistic.ml: List Optimist_core Optimist_net Optimist_sim Optimist_storage Optimist_util

@@ -1,0 +1,1 @@
+lib/protocols/pessimistic.mli: Optimist_core Optimist_net Optimist_sim Optimist_util

@@ -1,0 +1,1 @@
+lib/protocols/sender_based.ml: Array Hashtbl List Optimist_core Optimist_net Optimist_sim Optimist_storage Optimist_util

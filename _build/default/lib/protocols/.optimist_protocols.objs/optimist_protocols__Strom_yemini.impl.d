@@ -1,0 +1,1 @@
+lib/protocols/strom_yemini.ml: Array List Optimist_clock Optimist_core Optimist_net Optimist_sim Optimist_storage Optimist_util

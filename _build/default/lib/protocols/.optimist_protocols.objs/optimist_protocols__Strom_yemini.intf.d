@@ -1,0 +1,1 @@
+lib/protocols/strom_yemini.mli: Optimist_core Optimist_net Optimist_sim Optimist_util

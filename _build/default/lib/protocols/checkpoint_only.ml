@@ -1,0 +1,203 @@
+module Engine = Optimist_sim.Engine
+module Network = Optimist_net.Network
+module Vclock = Optimist_clock.Vclock
+module Checkpoint_store = Optimist_storage.Checkpoint_store
+module Counters = Optimist_util.Stats.Counters
+open Optimist_core.Types
+
+type announcement = {
+  a_origin : int;
+  a_ts : int; (* surviving own timestamp: states past it are gone *)
+  a_cascade : bool; (* true when caused by a rollback, not a failure *)
+}
+
+type 'm wire =
+  | W_app of { data : 'm; vc : Vclock.t; epoch : int; sender : int; uid : int }
+  | W_ann of announcement
+
+type ('s, 'm) checkpoint = { cp_state : 's; cp_vc : Vclock.t }
+
+type config = { checkpoint_interval : float; restart_delay : float }
+
+let default_config = { checkpoint_interval = 100.0; restart_delay = 20.0 }
+
+type ('s, 'm) t = {
+  pid : int;
+  n : int;
+  engine : Engine.t;
+  net : 'm wire Network.t;
+  app : ('s, 'm) app;
+  config : config;
+  next_uid : unit -> int;
+  mutable state : 's;
+  mutable vc : Vclock.t;
+  mutable alive : bool;
+  mutable epoch : int; (* bumped on every restart or rollback *)
+  mutable peer_epoch : int array; (* newest epoch seen per peer *)
+  mutable states_since_restore : int;
+  checkpoints : ('s, 'm) checkpoint Checkpoint_store.t;
+  (* Minimum surviving timestamp ever announced per origin: with no way to
+     replay, dependencies past it are permanently invalid. *)
+  floor : int array;
+  counters : Counters.t;
+}
+
+let make_net engine cfg = Network.create engine cfg
+
+let id t = t.pid
+let alive t = t.alive
+let state t = t.state
+let counters t = t.counters
+
+let send_app t dst data =
+  Counters.incr t.counters "sent";
+  Counters.incr ~by:(t.n + 1) t.counters "piggyback_words";
+  Network.send t.net ~src:t.pid ~dst
+    (W_app
+       { data; vc = t.vc; epoch = t.epoch; sender = t.pid; uid = t.next_uid () });
+  t.vc <- Vclock.tick t.vc ~me:t.pid
+
+let run_app t ~src data =
+  let state', sends = t.app.on_message ~me:t.pid ~src t.state data in
+  t.state <- state';
+  t.states_since_restore <- t.states_since_restore + 1;
+  List.iter (fun (dst, payload) -> send_app t dst payload) sends
+
+let take_checkpoint t =
+  Counters.incr t.counters "checkpoints";
+  Checkpoint_store.record t.checkpoints ~position:(Vclock.get t.vc t.pid)
+    { cp_state = t.state; cp_vc = t.vc }
+
+let announce t ~cascade =
+  Counters.incr ~by:(t.n - 1) t.counters "control_messages";
+  Network.broadcast t.net ~traffic:Network.Control ~src:t.pid
+    (W_ann { a_origin = t.pid; a_ts = Vclock.get t.vc t.pid; a_cascade = cascade })
+
+(* Land on the newest checkpoint consistent with every announcement floor.
+   There is no log: everything since that checkpoint is forfeited. *)
+let restore_to_floor t =
+  match
+    Checkpoint_store.latest_satisfying t.checkpoints (fun cp _ ->
+        let ok = ref true in
+        for j = 0 to t.n - 1 do
+          if j <> t.pid && Vclock.get cp.cp_vc j > t.floor.(j) then ok := false
+        done;
+        !ok)
+  with
+  | None -> assert false
+  | Some (cp, position) ->
+      Counters.incr ~by:t.states_since_restore t.counters "lost_states";
+      t.states_since_restore <- 0;
+      t.state <- cp.cp_state;
+      t.vc <- cp.cp_vc;
+      Checkpoint_store.discard_after t.checkpoints ~position
+
+let orphaned t =
+  let rec loop j =
+    j < t.n
+    && ((j <> t.pid && Vclock.get t.vc j > t.floor.(j)) || loop (j + 1))
+  in
+  loop 0
+
+let rollback t ~cascade =
+  Counters.incr t.counters "rollbacks";
+  if cascade then Counters.incr t.counters "cascade_rollbacks";
+  restore_to_floor t;
+  t.epoch <- t.epoch + 1;
+  (* Our own rollback may orphan others: the domino propagates. The
+     announcement carries the restored timestamp — everything beyond it is
+     forfeit. *)
+  announce t ~cascade:true;
+  t.vc <- Vclock.tick t.vc ~me:t.pid
+
+let receive_announcement t (a : announcement) =
+  Counters.incr t.counters "tokens_received";
+  if a.a_ts < t.floor.(a.a_origin) then t.floor.(a.a_origin) <- a.a_ts;
+  if t.alive && orphaned t then rollback t ~cascade:a.a_cascade
+
+let do_restart t =
+  Counters.incr t.counters "restarts";
+  t.epoch <- t.epoch + 1;
+  restore_to_floor t;
+  t.alive <- true;
+  Network.set_up t.net t.pid;
+  announce t ~cascade:false;
+  t.vc <- Vclock.tick t.vc ~me:t.pid;
+  take_checkpoint t
+
+let fail t =
+  if t.alive then begin
+    t.alive <- false;
+    Counters.incr t.counters "failures";
+    Network.set_down t.net t.pid;
+    ignore
+      (Engine.schedule t.engine ~delay:t.config.restart_delay (fun () ->
+           do_restart t))
+  end
+
+let receive_app t ~src ~vc ~epoch data =
+  if epoch < t.peer_epoch.(src) then
+    (* Stale traffic from a discarded incarnation of the sender. *)
+    Counters.incr t.counters "discarded_obsolete"
+  else begin
+    t.peer_epoch.(src) <- epoch;
+    (* Dependency on permanently lost states: unrecoverable, drop. *)
+    let dead = ref false in
+    for j = 0 to t.n - 1 do
+      if j <> t.pid && Vclock.get vc j > t.floor.(j) then dead := true
+    done;
+    if !dead then Counters.incr t.counters "discarded_obsolete"
+    else begin
+      t.vc <- Vclock.merge t.vc ~me:t.pid vc;
+      Counters.incr t.counters "delivered";
+      run_app t ~src data
+    end
+  end
+
+let inject t data =
+  if t.alive then begin
+    Counters.incr t.counters "injected";
+    t.vc <- Vclock.tick t.vc ~me:t.pid;
+    run_app t ~src:env_src data
+  end
+
+let handle_wire t (env : 'm wire Network.envelope) =
+  match env.Network.payload with
+  | W_app { data; vc; epoch; sender; uid = _ } ->
+      if t.alive then receive_app t ~src:sender ~vc ~epoch data
+  | W_ann a -> receive_announcement t a
+
+let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ~next_uid ()
+    =
+  let t =
+    {
+      pid;
+      n;
+      engine;
+      net;
+      app;
+      config;
+      next_uid;
+      state = app.init pid;
+      vc = Vclock.create ~n ~me:pid;
+      alive = true;
+      epoch = 0;
+      peer_epoch = Array.make n 0;
+      states_since_restore = 0;
+      checkpoints = Checkpoint_store.create ();
+      floor = Array.make n max_int;
+      counters = Counters.create ();
+    }
+  in
+  Network.set_handler net pid (fun env -> handle_wire t env);
+  take_checkpoint t;
+  let rec checkpoint_loop () =
+    if t.alive then take_checkpoint t;
+    ignore
+      (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
+         checkpoint_loop)
+  in
+  ignore
+    (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
+       checkpoint_loop);
+  t

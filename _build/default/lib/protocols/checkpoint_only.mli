@@ -1,0 +1,51 @@
+(** Uncoordinated checkpointing {e without} message logging — the classic
+    domino-effect baseline (Randell [21], Russell [22]) that motivates the
+    whole message-logging line of work in the paper's introduction.
+
+    Processes checkpoint independently and keep no message log, so a
+    rollback can only land {e on a checkpoint}: everything since is simply
+    lost. Because a rollback discards states that other processes may
+    depend on, each rollback broadcasts its own announcement, which can
+    force further rollbacks elsewhere — the cascade ("domino effect") can
+    collapse the whole computation back to its initial checkpoints. The
+    [rollbacks] counter divided by [failures] is the quantity the paper's
+    "minimal rollback" property bounds at 1 for Damani-Garg and that is
+    unbounded here.
+
+    Each incarnation (restart or rollback) bumps an epoch number carried on
+    every message so stale in-flight traffic from discarded states is
+    filtered out. *)
+
+module Engine = Optimist_sim.Engine
+module Network = Optimist_net.Network
+
+type 'm wire
+
+type ('s, 'm) t
+
+type config = { checkpoint_interval : float; restart_delay : float }
+
+val default_config : config
+
+val create :
+  engine:Engine.t ->
+  net:'m wire Network.t ->
+  app:('s, 'm) Optimist_core.Types.app ->
+  id:int ->
+  n:int ->
+  ?config:config ->
+  next_uid:(unit -> int) ->
+  unit ->
+  ('s, 'm) t
+
+val make_net : Engine.t -> Network.config -> 'm wire Network.t
+
+val id : ('s, 'm) t -> int
+val alive : ('s, 'm) t -> bool
+val state : ('s, 'm) t -> 's
+val inject : ('s, 'm) t -> 'm -> unit
+val fail : ('s, 'm) t -> unit
+val counters : ('s, 'm) t -> Optimist_util.Stats.Counters.t
+(** Shared names plus [cascade_rollbacks] (rollbacks triggered by another
+    process's rollback announcement rather than directly by a failure) and
+    [lost_states] (work discarded without any possibility of replay). *)

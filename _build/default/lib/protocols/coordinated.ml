@@ -1,0 +1,226 @@
+module Engine = Optimist_sim.Engine
+module Network = Optimist_net.Network
+module Counters = Optimist_util.Stats.Counters
+open Optimist_core.Types
+
+type 'm wire =
+  | W_app of { data : 'm; epoch : int; sender : int; uid : int }
+  | W_request of { round : int }  (** initiator -> all: tentative checkpoint *)
+  | W_ready of { round : int }  (** participant -> initiator *)
+  | W_commit of { round : int }  (** initiator -> all: make permanent *)
+  | W_rollback of { epoch : int }  (** failure: everyone back to the line *)
+
+type ('s, 'm) snapshot = { sn_state : 's; sn_round : int }
+
+type config = { checkpoint_interval : float; restart_delay : float }
+
+let default_config = { checkpoint_interval = 150.0; restart_delay = 20.0 }
+
+type ('s, 'm) t = {
+  pid : int;
+  n : int;
+  engine : Engine.t;
+  net : 'm wire Network.t;
+  app : ('s, 'm) app;
+  config : config;
+  next_uid : unit -> int;
+  mutable state : 's;
+  mutable alive : bool;
+  mutable epoch : int; (* bumped on every system-wide rollback *)
+  mutable peer_epoch : int array;
+  mutable committed : ('s, 'm) snapshot; (* last committed line (stable) *)
+  mutable tentative : ('s, 'm) snapshot option;
+  mutable in_round : bool; (* between tentative checkpoint and commit *)
+  mutable blocked_since : float;
+  mutable buffered : (int * 'm * int) list; (* src, data, epoch; newest first *)
+  mutable outbox : (int * 'm) list; (* sends held during the round *)
+  mutable ready_count : int; (* initiator-side *)
+  mutable round : int;
+  mutable states_since_commit : int;
+  counters : Counters.t;
+}
+
+let make_net engine cfg = Network.create engine cfg
+
+let id t = t.pid
+let alive t = t.alive
+let state t = t.state
+let counters t = t.counters
+
+let is_initiator t = t.pid = 0
+
+let really_send t dst data =
+  Counters.incr t.counters "sent";
+  Counters.incr ~by:2 t.counters "piggyback_words";
+  Network.send t.net ~src:t.pid ~dst
+    (W_app { data; epoch = t.epoch; sender = t.pid; uid = t.next_uid () })
+
+let send_app t dst data =
+  if t.in_round then t.outbox <- (dst, data) :: t.outbox
+  else really_send t dst data
+
+let run_app t ~src data =
+  let state', sends = t.app.on_message ~me:t.pid ~src t.state data in
+  t.state <- state';
+  t.states_since_commit <- t.states_since_commit + 1;
+  List.iter (fun (dst, payload) -> send_app t dst payload) sends
+
+let deliver t ~src ~epoch data =
+  if src >= 0 && epoch < t.peer_epoch.(src) then
+    (* Stale traffic from before a system-wide rollback. *)
+    Counters.incr t.counters "discarded_obsolete"
+  else begin
+    if src >= 0 then t.peer_epoch.(src) <- epoch;
+    if t.in_round then t.buffered <- (src, data, epoch) :: t.buffered
+    else begin
+      Counters.incr t.counters "delivered";
+      run_app t ~src data
+    end
+  end
+
+let inject t data =
+  if t.alive then begin
+    Counters.incr t.counters "injected";
+    deliver t ~src:env_src ~epoch:t.epoch data
+  end
+
+let control t dst w =
+  Counters.incr t.counters "control_messages";
+  Network.send t.net ~traffic:Network.Control ~src:t.pid ~dst w
+
+let broadcast_control t w =
+  Counters.incr ~by:(t.n - 1) t.counters "control_messages";
+  Network.broadcast t.net ~traffic:Network.Control ~src:t.pid w
+
+(* Enter the blocking phase: tentative checkpoint, hold all traffic. *)
+let take_tentative t round =
+  if t.alive && not t.in_round then begin
+    t.in_round <- true;
+    t.round <- round;
+    t.blocked_since <- Engine.now t.engine;
+    t.tentative <- Some { sn_state = t.state; sn_round = round };
+    Counters.incr t.counters "checkpoints"
+  end
+
+let release t =
+  Counters.incr
+    ~by:(int_of_float (1000.0 *. (Engine.now t.engine -. t.blocked_since)))
+    t.counters "blocked_time_x1000";
+  t.in_round <- false;
+  let sends = List.rev t.outbox in
+  t.outbox <- [];
+  List.iter (fun (dst, data) -> really_send t dst data) sends;
+  let pending = List.rev t.buffered in
+  t.buffered <- [];
+  List.iter (fun (src, data, epoch) -> deliver t ~src ~epoch data) pending
+
+let commit t round =
+  (match t.tentative with
+  | Some sn when sn.sn_round = round ->
+      t.committed <- sn;
+      t.states_since_commit <- 0;
+      t.tentative <- None
+  | _ -> ());
+  if t.in_round then release t
+
+(* Every process rolls back to the committed line; all work since is
+   forfeit (there is no log to replay from). *)
+let rollback_to_line t ~epoch =
+  if epoch > t.epoch then begin
+    Counters.incr t.counters "rollbacks";
+    Counters.incr ~by:t.states_since_commit t.counters "lost_states";
+    t.states_since_commit <- 0;
+    t.state <- t.committed.sn_state;
+    t.epoch <- epoch;
+    t.tentative <- None;
+    if t.in_round then release t;
+    t.buffered <- [];
+    t.outbox <- []
+  end
+
+let do_restart t =
+  Counters.incr t.counters "restarts";
+  t.state <- t.committed.sn_state;
+  Counters.incr ~by:t.states_since_commit t.counters "lost_states";
+  t.states_since_commit <- 0;
+  t.epoch <- t.epoch + 1;
+  t.tentative <- None;
+  t.in_round <- false;
+  t.buffered <- [];
+  t.outbox <- [];
+  t.alive <- true;
+  Network.set_up t.net t.pid ~drop_held_data:true;
+  broadcast_control t (W_rollback { epoch = t.epoch })
+
+let fail t =
+  if t.alive then begin
+    t.alive <- false;
+    Counters.incr t.counters "failures";
+    Network.set_down t.net t.pid;
+    ignore
+      (Engine.schedule t.engine ~delay:t.config.restart_delay (fun () ->
+           do_restart t))
+  end
+
+let handle_wire t (env : 'm wire Network.envelope) =
+  match env.Network.payload with
+  | W_app { data; epoch; sender; uid = _ } ->
+      if t.alive then deliver t ~src:sender ~epoch data
+  | W_request { round } ->
+      take_tentative t round;
+      control t 0 (W_ready { round })
+  | W_ready { round } ->
+      if is_initiator t && round = t.round then begin
+        t.ready_count <- t.ready_count + 1;
+        if t.ready_count = t.n - 1 then begin
+          broadcast_control t (W_commit { round });
+          commit t round
+        end
+      end
+  | W_commit { round } -> commit t round
+  | W_rollback { epoch } -> rollback_to_line t ~epoch
+
+let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ~next_uid ()
+    =
+  let t =
+    {
+      pid;
+      n;
+      engine;
+      net;
+      app;
+      config;
+      next_uid;
+      state = app.init pid;
+      alive = true;
+      epoch = 0;
+      peer_epoch = Array.make n 0;
+      committed = { sn_state = app.init pid; sn_round = 0 };
+      tentative = None;
+      in_round = false;
+      blocked_since = 0.0;
+      buffered = [];
+      outbox = [];
+      ready_count = 0;
+      round = 0;
+      states_since_commit = 0;
+      counters = Counters.create ();
+    }
+  in
+  Network.set_handler net pid (fun env -> handle_wire t env);
+  if is_initiator t then begin
+    let rec round_loop k () =
+      if t.alive && not t.in_round then begin
+        t.ready_count <- 0;
+        take_tentative t k;
+        broadcast_control t (W_request { round = k })
+      end;
+      ignore
+        (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
+           (round_loop (k + 1)))
+    in
+    ignore
+      (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
+         (round_loop 1))
+  end;
+  t

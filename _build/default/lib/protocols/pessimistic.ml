@@ -1,0 +1,153 @@
+module Engine = Optimist_sim.Engine
+module Network = Optimist_net.Network
+module Message_log = Optimist_storage.Message_log
+module Checkpoint_store = Optimist_storage.Checkpoint_store
+module Counters = Optimist_util.Stats.Counters
+open Optimist_core.Types
+
+(* The wire format carries no clock: pessimism needs no causality
+   tracking. *)
+type 'm wire = { data : 'm; sender : int; uid : int }
+
+type 'm entry = { e_data : 'm; e_sender : int }
+
+type config = {
+  sync_write_latency : float;
+  checkpoint_interval : float;
+  restart_delay : float;
+}
+
+let default_config =
+  { sync_write_latency = 0.5; checkpoint_interval = 200.0; restart_delay = 20.0 }
+
+type ('s, 'm) t = {
+  pid : int;
+  engine : Engine.t;
+  net : 'm wire Network.t;
+  app : ('s, 'm) app;
+  config : config;
+  next_uid : unit -> int;
+  mutable state : 's;
+  mutable alive : bool;
+  mutable replaying : bool;
+  mutable processed : int; (* log entries whose handler has run *)
+  mutable epoch : int; (* incarnation counter guarding delayed handlers *)
+  log : 'm entry Message_log.t;
+  checkpoints : 's Checkpoint_store.t;
+  counters : Counters.t;
+}
+
+let make_net engine cfg = Network.create engine cfg
+
+let id t = t.pid
+let alive t = t.alive
+let state t = t.state
+let counters t = t.counters
+
+let send_app t dst data =
+  if not t.replaying then begin
+    Counters.incr t.counters "sent";
+    (* O(1) header: sender id + uid, counted as 2 words. *)
+    Counters.incr ~by:2 t.counters "piggyback_words";
+    Network.send t.net ~src:t.pid ~dst
+      { data; sender = t.pid; uid = t.next_uid () }
+  end
+
+let run_app t ~src data =
+  let state', sends = t.app.on_message ~me:t.pid ~src t.state data in
+  t.state <- state';
+  List.iter (fun (dst, payload) -> send_app t dst payload) sends
+
+(* Synchronous logging: the entry is forced to stable storage, the
+   simulated write latency is charged, and only then does the handler
+   run. A crash in the window between the write and the handler loses
+   nothing: replay re-runs the handler from the stable log. *)
+let deliver t ~src data =
+  Message_log.append t.log { e_data = data; e_sender = src };
+  Message_log.flush t.log;
+  Counters.incr
+    ~by:(int_of_float (1000.0 *. t.config.sync_write_latency))
+    t.counters "blocked_time_x1000";
+  let epoch = t.epoch in
+  ignore
+    (Engine.schedule t.engine ~delay:t.config.sync_write_latency (fun () ->
+         if t.alive && t.epoch = epoch then begin
+           Counters.incr t.counters "delivered";
+           t.processed <- t.processed + 1;
+           run_app t ~src data
+         end))
+
+let inject t data =
+  if t.alive then begin
+    Counters.incr t.counters "injected";
+    deliver t ~src:env_src data
+  end
+
+let take_checkpoint t =
+  Counters.incr t.counters "checkpoints";
+  Checkpoint_store.record t.checkpoints ~position:t.processed t.state
+
+let do_restart t =
+  Counters.incr t.counters "restarts";
+  t.epoch <- t.epoch + 1;
+  (match Checkpoint_store.latest t.checkpoints with
+  | None -> assert false
+  | Some (snapshot, position) ->
+      t.state <- snapshot;
+      t.replaying <- true;
+      Message_log.iter_range t.log ~from:position
+        ~until:(Message_log.stable_length t.log) (fun e ->
+          Counters.incr t.counters "replayed";
+          run_app t ~src:e.e_sender e.e_data);
+      t.replaying <- false;
+      t.processed <- Message_log.stable_length t.log);
+  t.alive <- true;
+  Network.set_up t.net t.pid;
+  take_checkpoint t
+
+let fail t =
+  if t.alive then begin
+    t.alive <- false;
+    Counters.incr t.counters "failures";
+    Network.set_down t.net t.pid;
+    ignore
+      (Engine.schedule t.engine ~delay:t.config.restart_delay (fun () ->
+           do_restart t))
+  end
+
+let handle_wire t (env : 'm wire Network.envelope) =
+  let w = env.Network.payload in
+  deliver t ~src:w.sender w.data
+
+let create ~engine ~net ~app ~id:pid ~n:_ ?(config = default_config) ~next_uid
+    () =
+  let t =
+    {
+      pid;
+      engine;
+      net;
+      app;
+      config;
+      next_uid;
+      state = app.init pid;
+      alive = true;
+      replaying = false;
+      processed = 0;
+      epoch = 0;
+      log = Message_log.create ();
+      checkpoints = Checkpoint_store.create ();
+      counters = Counters.create ();
+    }
+  in
+  Network.set_handler net pid (fun env -> handle_wire t env);
+  take_checkpoint t;
+  let rec checkpoint_loop () =
+    if t.alive then take_checkpoint t;
+    ignore
+      (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
+         checkpoint_loop)
+  in
+  ignore
+    (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
+       checkpoint_loop);
+  t

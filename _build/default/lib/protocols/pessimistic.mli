@@ -1,0 +1,54 @@
+(** Pessimistic receiver-based message logging — the [3, 20] row of the
+    paper's Table 1 (Borg-Baumbach-Glazer; Powell-Presotto).
+
+    Every delivered message is written to stable storage {e synchronously}
+    before the application processes it, so a crash never loses a delivered
+    message: recovery is purely local (restore last checkpoint, replay the
+    log) and no other process ever rolls back. The price is paid on every
+    delivery during failure-free operation — modelled here as a stable-write
+    latency that delays processing and is accumulated in the
+    [blocked_time] counter. No clock is piggybacked (an O(1) header).
+
+    Table 1 expectations this implementation reproduces: message ordering
+    [None], asynchronous recovery (trivially — nobody is asked anything),
+    rollbacks per failure [0] for peers, timestamps [O(1)], concurrent
+    failures [n]. *)
+
+module Engine = Optimist_sim.Engine
+module Network = Optimist_net.Network
+
+type 'm wire
+
+type ('s, 'm) t
+
+type config = {
+  sync_write_latency : float;
+      (** stable-storage latency charged to every delivery *)
+  checkpoint_interval : float;
+  restart_delay : float;
+}
+
+val default_config : config
+
+val create :
+  engine:Engine.t ->
+  net:'m wire Network.t ->
+  app:('s, 'm) Optimist_core.Types.app ->
+  id:int ->
+  n:int ->
+  ?config:config ->
+  next_uid:(unit -> int) ->
+  unit ->
+  ('s, 'm) t
+
+val make_net : Engine.t -> Network.config -> 'm wire Network.t
+
+val id : ('s, 'm) t -> int
+val alive : ('s, 'm) t -> bool
+val state : ('s, 'm) t -> 's
+val inject : ('s, 'm) t -> 'm -> unit
+val fail : ('s, 'm) t -> unit
+val counters : ('s, 'm) t -> Optimist_util.Stats.Counters.t
+(** [delivered], [sent], [restarts], [replayed], [piggyback_words],
+    [blocked_time_x1000] (accumulated synchronous-write delay), plus the
+    shared counter names used by the comparison table. *)

@@ -1,0 +1,323 @@
+module Engine = Optimist_sim.Engine
+module Network = Optimist_net.Network
+module Checkpoint_store = Optimist_storage.Checkpoint_store
+module Counters = Optimist_util.Stats.Counters
+open Optimist_core.Types
+
+type 'm wire =
+  | W_app of { data : 'm; uid : int; retransmit_rsn : int option }
+      (** application message; [retransmit_rsn] is set on recovery resends
+          so the receiver can slot it at its original position *)
+  | W_ack of { uid : int; rsn : int }  (** receiver -> sender: RSN *)
+  | W_confirm of { rsn : int }  (** sender -> receiver: RSN recorded *)
+  | W_recover of { from_rsn : int }  (** restarting receiver -> all *)
+  | W_recover_done
+
+type 'm sent_record = {
+  sr_dst : int;
+  sr_data : 'm;
+  sr_uid : int;
+  mutable sr_rsn : int option;
+}
+
+type config = { checkpoint_interval : float; restart_delay : float }
+
+let default_config = { checkpoint_interval = 200.0; restart_delay = 20.0 }
+
+type ('s, 'm) recovery = {
+  mutable buffered : (int * 'm * int) list; (* rsn, data, src *)
+  mutable done_count : int;
+  started_at : float;
+}
+
+type ('s, 'm) t = {
+  pid : int;
+  n : int;
+  engine : Engine.t;
+  net : 'm wire Network.t;
+  app : ('s, 'm) app;
+  config : config;
+  next_uid : unit -> int;
+  mutable state : 's;
+  mutable alive : bool;
+  mutable replaying : bool;
+  mutable rsn_next : int; (* next receive sequence number = deliveries so far *)
+  mutable unconfirmed : int; (* deliveries whose RSN is not yet confirmed *)
+  mutable outbox : (int * 'm) list; (* sends blocked on confirmation, newest first *)
+  mutable blocked_since : float option;
+  (* volatile send log, keyed by uid *)
+  send_log : (int, 'm sent_record) Hashtbl.t;
+  (* stable record of deliveries indexed by rsn, for local replay *)
+  mutable delivered_log : (int * 'm) array; (* src, data *)
+  mutable delivered_len : int;
+  mutable recovery : ('s, 'm) recovery option;
+  mutable fresh_during_recovery : (int * 'm * (int * int) option) list;
+      (* src, data, (sender, uid) to acknowledge *)
+  checkpoints : ('s * int) Checkpoint_store.t; (* state, rsn at checkpoint *)
+  mutable epoch : int;
+  counters : Counters.t;
+}
+
+let make_net engine cfg = Network.create engine cfg
+
+let id t = t.pid
+let alive t = t.alive
+let recovering t = t.recovery <> None
+let state t = t.state
+let counters t = t.counters
+
+let charge_blocked t since =
+  let ms = int_of_float (1000.0 *. (Engine.now t.engine -. since)) in
+  Counters.incr ~by:ms t.counters "blocked_time_x1000"
+
+(* In J-Z the receiver's deliveries are reconstructed from the senders'
+   logs; we additionally keep a local array standing in for the volatile
+   delivery record that a real implementation replays from after the
+   senders retransmit. It is wiped on crash like any volatile state. *)
+let record_delivery t ~src data =
+  if t.delivered_len = Array.length t.delivered_log then begin
+    let next = max 16 (2 * t.delivered_len) in
+    let a = Array.make next (src, data) in
+    Array.blit t.delivered_log 0 a 0 t.delivered_len;
+    t.delivered_log <- a
+  end;
+  t.delivered_log.(t.delivered_len) <- (src, data);
+  t.delivered_len <- t.delivered_len + 1
+
+let send_wire t ?(traffic = Network.Data) dst w =
+  Network.send t.net ~traffic ~src:t.pid ~dst w
+
+let really_send t dst data =
+  let uid = t.next_uid () in
+  Counters.incr t.counters "sent";
+  Counters.incr ~by:2 t.counters "piggyback_words";
+  Hashtbl.replace t.send_log uid
+    { sr_dst = dst; sr_data = data; sr_uid = uid; sr_rsn = None };
+  send_wire t dst (W_app { data; uid; retransmit_rsn = None })
+
+let flush_outbox t =
+  if t.unconfirmed = 0 && t.recovery = None then begin
+    (match t.blocked_since with
+    | Some since ->
+        charge_blocked t since;
+        t.blocked_since <- None
+    | None -> ());
+    let sends = List.rev t.outbox in
+    t.outbox <- [];
+    List.iter (fun (dst, data) -> really_send t dst data) sends
+  end
+
+(* The send-blocking rule: a send may leave only when every local delivery
+   has a confirmed RSN at its sender. *)
+let send_app t dst data =
+  if not t.replaying then begin
+    if t.unconfirmed = 0 && t.recovery = None then really_send t dst data
+    else begin
+      if t.outbox = [] && t.blocked_since = None then
+        t.blocked_since <- Some (Engine.now t.engine);
+      t.outbox <- (dst, data) :: t.outbox
+    end
+  end
+
+let run_app t ~src data =
+  let state', sends = t.app.on_message ~me:t.pid ~src t.state data in
+  t.state <- state';
+  List.iter (fun (dst, payload) -> send_app t dst payload) sends
+
+let deliver t ~src data ~ack =
+  let rsn = t.rsn_next in
+  t.rsn_next <- rsn + 1;
+  record_delivery t ~src data;
+  Counters.incr t.counters "delivered";
+  (match ack with
+  | Some (sender, uid) when sender >= 0 ->
+      t.unconfirmed <- t.unconfirmed + 1;
+      Counters.incr t.counters "control_messages";
+      send_wire t ~traffic:Network.Control sender (W_ack { uid; rsn })
+  | _ -> ());
+  run_app t ~src data
+
+let inject t data =
+  if t.alive && t.recovery = None then begin
+    Counters.incr t.counters "injected";
+    (* Environment stimuli are treated as stably logged on arrival. *)
+    deliver t ~src:env_src data ~ack:None
+  end
+
+let take_checkpoint t =
+  Counters.incr t.counters "checkpoints";
+  Checkpoint_store.record t.checkpoints ~position:t.rsn_next
+    (t.state, t.rsn_next)
+
+let finish_recovery t (r : ('s, 'm) recovery) =
+  (* Replay retransmitted messages in RSN order from the checkpoint; a gap
+     means the original sender crashed too and its volatile log is gone. *)
+  let sorted = List.sort (fun (a, _, _) (b, _, _) -> compare a b) r.buffered in
+  t.replaying <- false;
+  let rec replay expected = function
+    | [] -> expected
+    | (rsn, data, src) :: rest ->
+        if rsn < expected then replay expected rest (* duplicate *)
+        else if rsn = expected then begin
+          Counters.incr t.counters "replayed";
+          record_delivery t ~src data;
+          run_app t ~src data;
+          replay (expected + 1) rest
+        end
+        else begin
+          Counters.incr ~by:(List.length rest + 1) t.counters "unrecoverable";
+          expected
+        end
+  in
+  (* Suppress resends while reconstructing: peers already hold them. *)
+  t.replaying <- true;
+  let resumed_at = replay t.rsn_next sorted in
+  t.replaying <- false;
+  t.rsn_next <- resumed_at;
+  t.recovery <- None;
+  charge_blocked t r.started_at;
+  take_checkpoint t;
+  (* Deliver what arrived while recovering. *)
+  let fresh = List.rev t.fresh_during_recovery in
+  t.fresh_during_recovery <- [];
+  List.iter (fun (src, data, ack) -> deliver t ~src data ~ack) fresh;
+  flush_outbox t
+
+let do_restart t =
+  Counters.incr t.counters "restarts";
+  t.epoch <- t.epoch + 1;
+  (match Checkpoint_store.latest t.checkpoints with
+  | None -> assert false
+  | Some ((snapshot, rsn), _) ->
+      t.state <- snapshot;
+      t.rsn_next <- rsn;
+      t.delivered_len <- min t.delivered_len rsn);
+  t.alive <- true;
+  t.unconfirmed <- 0;
+  t.outbox <- [];
+  t.blocked_since <- None;
+  Network.set_up t.net t.pid;
+  t.recovery <-
+    Some { buffered = []; done_count = 0; started_at = Engine.now t.engine };
+  Counters.incr ~by:(t.n - 1) t.counters "control_messages";
+  Network.broadcast t.net ~traffic:Network.Control ~src:t.pid
+    (W_recover { from_rsn = t.rsn_next })
+
+let fail t =
+  if t.alive then begin
+    t.alive <- false;
+    Counters.incr t.counters "failures";
+    (* Volatile state lost: the send log, delivery record, outbox. *)
+    Hashtbl.reset t.send_log;
+    t.delivered_len <- 0;
+    t.outbox <- [];
+    t.fresh_during_recovery <- [];
+    t.recovery <- None;
+    Network.set_down t.net t.pid;
+    ignore
+      (Engine.schedule t.engine ~delay:t.config.restart_delay (fun () ->
+           do_restart t))
+  end
+
+let handle_recover_request t ~src ~from_rsn =
+  (* Retransmit everything we logged for [src] with a recorded RSN past the
+     checkpoint, then signal completion. *)
+  Hashtbl.iter
+    (fun _ r ->
+      if r.sr_dst = src then
+        match r.sr_rsn with
+        | Some rsn when rsn >= from_rsn ->
+            Counters.incr t.counters "retransmitted";
+            send_wire t ~traffic:Network.Control src
+              (W_app { data = r.sr_data; uid = r.sr_uid; retransmit_rsn = Some rsn })
+        | Some _ -> ()
+        | None ->
+            (* Unacknowledged: the receiver never delivered it (or lost the
+               delivery); resend as fresh. *)
+            Counters.incr t.counters "retransmitted";
+            send_wire t ~traffic:Network.Control src
+              (W_app { data = r.sr_data; uid = r.sr_uid; retransmit_rsn = None })
+        )
+    t.send_log;
+  Counters.incr t.counters "control_messages";
+  send_wire t ~traffic:Network.Control src W_recover_done
+
+let handle_wire t (env : 'm wire Network.envelope) =
+  let src = env.Network.src in
+  match env.Network.payload with
+  | W_app { data; uid; retransmit_rsn } -> (
+      match t.recovery with
+      | Some r -> (
+          match retransmit_rsn with
+          | Some rsn -> r.buffered <- (rsn, data, src) :: r.buffered
+          | None -> t.fresh_during_recovery <- (src, data, Some (src, uid)) :: t.fresh_during_recovery)
+      | None -> (
+          match retransmit_rsn with
+          | Some _ ->
+              (* Late retransmission after recovery finished: duplicate. *)
+              ()
+          | None -> deliver t ~src data ~ack:(Some (src, uid))))
+  | W_ack { uid; rsn } -> (
+      match Hashtbl.find_opt t.send_log uid with
+      | Some r ->
+          r.sr_rsn <- Some rsn;
+          Counters.incr t.counters "control_messages";
+          send_wire t ~traffic:Network.Control src (W_confirm { rsn })
+      | None ->
+          (* We crashed since sending; the record is gone. The receiver's
+             delivery is then unrecoverable if we crash again — nothing to
+             confirm. Still confirm so the receiver does not block forever. *)
+          send_wire t ~traffic:Network.Control src (W_confirm { rsn }))
+  | W_confirm _ ->
+      if t.unconfirmed > 0 then begin
+        t.unconfirmed <- t.unconfirmed - 1;
+        flush_outbox t
+      end
+  | W_recover { from_rsn } -> handle_recover_request t ~src ~from_rsn
+  | W_recover_done -> (
+      match t.recovery with
+      | Some r ->
+          r.done_count <- r.done_count + 1;
+          if r.done_count = t.n - 1 then finish_recovery t r
+      | None -> ())
+
+let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ~next_uid ()
+    =
+  let t =
+    {
+      pid;
+      n;
+      engine;
+      net;
+      app;
+      config;
+      next_uid;
+      state = app.init pid;
+      alive = true;
+      replaying = false;
+      rsn_next = 0;
+      unconfirmed = 0;
+      outbox = [];
+      blocked_since = None;
+      send_log = Hashtbl.create 64;
+      delivered_log = [||];
+      delivered_len = 0;
+      recovery = None;
+      fresh_during_recovery = [];
+      checkpoints = Checkpoint_store.create ();
+      epoch = 0;
+      counters = Counters.create ();
+    }
+  in
+  Network.set_handler net pid (fun env -> handle_wire t env);
+  take_checkpoint t;
+  let rec checkpoint_loop () =
+    if t.alive && t.recovery = None then take_checkpoint t;
+    ignore
+      (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
+         checkpoint_loop)
+  in
+  ignore
+    (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
+       checkpoint_loop);
+  t

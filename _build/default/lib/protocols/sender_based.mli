@@ -1,0 +1,55 @@
+(** Sender-based message logging — the Johnson-Zwaenepoel [11] row of the
+    paper's Table 1.
+
+    Each message is logged in the {e sender's} volatile memory. The receiver
+    assigns a receive sequence number (RSN) on delivery and returns it in an
+    acknowledgement; the sender records the RSN and confirms. A process may
+    deliver optimistically, but it must not {e send} while any of its own
+    deliveries is still unconfirmed — this send-blocking is the protocol's
+    failure-free cost, accumulated in [blocked_time_x1000] along with
+    recovery stalls.
+
+    Recovery is {e not} asynchronous: the restarting process broadcasts a
+    retransmission request and must wait for every peer to respond before it
+    can make progress. Peers never roll back. Messages whose sender also
+    crashed (volatile send log lost) are unrecoverable and counted in
+    [unrecoverable].
+
+    Table 1 expectations reproduced: ordering [None], asynchronous recovery
+    [No], rollbacks per failure [1] (only the failed process), timestamps
+    [O(1)]. *)
+
+module Engine = Optimist_sim.Engine
+module Network = Optimist_net.Network
+
+type 'm wire
+
+type ('s, 'm) t
+
+type config = {
+  checkpoint_interval : float;
+  restart_delay : float;
+}
+
+val default_config : config
+
+val create :
+  engine:Engine.t ->
+  net:'m wire Network.t ->
+  app:('s, 'm) Optimist_core.Types.app ->
+  id:int ->
+  n:int ->
+  ?config:config ->
+  next_uid:(unit -> int) ->
+  unit ->
+  ('s, 'm) t
+
+val make_net : Engine.t -> Network.config -> 'm wire Network.t
+
+val id : ('s, 'm) t -> int
+val alive : ('s, 'm) t -> bool
+val recovering : ('s, 'm) t -> bool
+val state : ('s, 'm) t -> 's
+val inject : ('s, 'm) t -> 'm -> unit
+val fail : ('s, 'm) t -> unit
+val counters : ('s, 'm) t -> Optimist_util.Stats.Counters.t

@@ -1,0 +1,307 @@
+module Engine = Optimist_sim.Engine
+module Network = Optimist_net.Network
+module Ftvc = Optimist_clock.Ftvc
+module Message_log = Optimist_storage.Message_log
+module Checkpoint_store = Optimist_storage.Checkpoint_store
+module Counters = Optimist_util.Stats.Counters
+open Optimist_core.Types
+
+(* The dependency vector reuses the FTVC entry layout: (incarnation,
+   timestamp) per process — Strom-Yemini also stamp incarnations, they just
+   keep no per-incarnation history behind the current entry. *)
+
+type announcement = { a_origin : int; a_inc : int; a_ts : int }
+
+type 'm wire =
+  | W_app of { data : 'm; clock : Ftvc.entry array; sender : int; uid : int }
+  | W_ann of announcement
+
+type 'm entry_log =
+  | E_msg of { data : 'm; clock : Ftvc.entry array; sender : int }
+  | E_mark of Ftvc.entry  (* rollback timestamp bump, as in the core *)
+
+type ('s, 'm) checkpoint = { cp_state : 's; cp_clock : Ftvc.t }
+
+type config = {
+  checkpoint_interval : float;
+  flush_interval : float;
+  restart_delay : float;
+}
+
+let default_config =
+  { checkpoint_interval = 200.0; flush_interval = 25.0; restart_delay = 20.0 }
+
+type ('s, 'm) t = {
+  pid : int;
+  n : int;
+  engine : Engine.t;
+  net : 'm wire Network.t;
+  app : ('s, 'm) app;
+  config : config;
+  next_uid : unit -> int;
+  mutable state : 's;
+  mutable clock : Ftvc.t;
+  mutable alive : bool;
+  mutable replaying : bool;
+  (* dirty.(j): our entry for j jumped to an incarnation whose predecessor
+     announcements we had not yet seen — dependency info was lost. *)
+  dirty : bool array;
+  log : 'm entry_log Message_log.t;
+  checkpoints : ('s, 'm) checkpoint Checkpoint_store.t;
+  mutable announcements : announcement list; (* stable, like D-G tokens *)
+  counters : Counters.t;
+}
+
+let make_net engine cfg = Network.create engine cfg
+
+let id t = t.pid
+let alive t = t.alive
+let state t = t.state
+let incarnation t = (Ftvc.own t.clock).Ftvc.ver
+let counters t = t.counters
+
+let has_announcement t ~origin ~inc =
+  List.exists (fun a -> a.a_origin = origin && a.a_inc = inc) t.announcements
+
+let announcements_complete_below t ~origin ~inc =
+  let rec loop l = l >= inc || (has_announcement t ~origin ~inc:l && loop (l + 1)) in
+  loop 0
+
+(* Lemma-4-style obsolete test, against the announcement table. *)
+let clock_entry_dead t ~pid (e : Ftvc.entry) =
+  List.exists
+    (fun a -> a.a_origin = pid && a.a_inc = e.Ftvc.ver && e.Ftvc.ts > a.a_ts)
+    t.announcements
+
+let message_obsolete t (clock : Ftvc.entry array) =
+  let n = Array.length clock in
+  let rec loop j = j < n && (clock_entry_dead t ~pid:j clock.(j) || loop (j + 1)) in
+  loop 0
+
+(* --- storage --- *)
+
+let flush_now t = Message_log.flush t.log
+
+let take_checkpoint t =
+  flush_now t;
+  Counters.incr t.counters "checkpoints";
+  Checkpoint_store.record t.checkpoints
+    ~position:(Message_log.total_length t.log)
+    { cp_state = t.state; cp_clock = t.clock }
+
+(* --- sending / delivering --- *)
+
+let send_app t dst data =
+  if t.replaying then t.clock <- Ftvc.sent t.clock
+  else begin
+    Counters.incr t.counters "sent";
+    Counters.incr ~by:(Ftvc.size_words t.clock) t.counters "piggyback_words";
+    Network.send t.net ~src:t.pid ~dst
+      (W_app
+         { data; clock = Ftvc.entries t.clock; sender = t.pid; uid = t.next_uid () });
+    t.clock <- Ftvc.sent t.clock
+  end
+
+let run_app t ~src data =
+  let state', sends = t.app.on_message ~me:t.pid ~src t.state data in
+  t.state <- state';
+  List.iter (fun (dst, payload) -> send_app t dst payload) sends
+
+let note_blind_jumps t (clock : Ftvc.entry array) =
+  Array.iteri
+    (fun j (e : Ftvc.entry) ->
+      if j <> t.pid then begin
+        let mine = Ftvc.get t.clock j in
+        if
+          e.Ftvc.ver > mine.Ftvc.ver
+          && not (announcements_complete_below t ~origin:j ~inc:e.Ftvc.ver)
+        then begin
+          Counters.incr t.counters "blind_jumps";
+          t.dirty.(j) <- true
+        end
+      end)
+    clock
+
+let deliver_now t ~src ~clock data =
+  Message_log.append t.log (E_msg { data; clock; sender = src });
+  note_blind_jumps t clock;
+  t.clock <- Ftvc.deliver_entries t.clock ~received:clock;
+  Counters.incr t.counters (if src = env_src then "injected" else "delivered");
+  run_app t ~src data
+
+let replay_entry t e =
+  Counters.incr t.counters "replayed";
+  match e with
+  | E_msg { data; clock; sender } ->
+      t.clock <- Ftvc.deliver_entries t.clock ~received:clock;
+      run_app t ~src:sender data
+  | E_mark own -> t.clock <- Ftvc.with_own t.clock own
+
+(* --- restore machinery --- *)
+
+(* Safety of a dependency entry with respect to one announcement. The
+   [conservative] flag implements the information-loss penalty: when the
+   entry has already jumped past the announced incarnation, the process
+   cannot tell whether the dead interval is in its causal past, so the
+   state counts as unsafe. *)
+let entry_safe ~conservative (a : announcement) (e : Ftvc.entry) =
+  if e.Ftvc.ver = a.a_inc then e.Ftvc.ts <= a.a_ts
+  else if e.Ftvc.ver > a.a_inc then not conservative
+  else true
+
+let clock_safe ~against (c : Ftvc.entry array) =
+  List.for_all
+    (fun (a, conservative) -> entry_safe ~conservative a c.(a.a_origin))
+    against
+
+let restore t ~against =
+  match
+    Checkpoint_store.latest_satisfying t.checkpoints (fun cp _ ->
+        clock_safe ~against (Ftvc.entries cp.cp_clock))
+  with
+  | None -> assert false
+  | Some (cp, position) ->
+      t.state <- cp.cp_state;
+      t.clock <- cp.cp_clock;
+      let stable = Message_log.stable_length t.log in
+      t.replaying <- true;
+      let rec replay pos =
+        if pos < stable then
+          let e = Message_log.get t.log pos in
+          let ok =
+            match e with
+            | E_mark _ -> true
+            | E_msg { clock; _ } -> clock_safe ~against clock
+          in
+          if ok then begin
+            replay_entry t e;
+            replay (pos + 1)
+          end
+          else pos
+        else pos
+      in
+      let stop = replay position in
+      t.replaying <- false;
+      if stop < Message_log.total_length t.log then begin
+        Counters.incr
+          ~by:(Message_log.total_length t.log - stop)
+          t.counters "log_truncated";
+        Message_log.truncate t.log stop;
+        Checkpoint_store.discard_after t.checkpoints ~position:stop
+      end
+
+let all_known_exact t =
+  List.map (fun a -> (a, false)) t.announcements
+
+let rollback t ~trigger ~conservative =
+  Counters.incr t.counters "rollbacks";
+  if conservative then Counters.incr t.counters "conservative_rollbacks";
+  flush_now t;
+  let orphaned = t.clock in
+  let against = (trigger, conservative) :: all_known_exact t in
+  restore t ~against;
+  t.clock <- Ftvc.rolled_back_from ~restored:t.clock ~orphaned;
+  Message_log.append t.log (E_mark (Ftvc.own t.clock));
+  flush_now t;
+  Array.fill t.dirty 0 t.n false
+
+(* --- announcements --- *)
+
+let receive_announcement t (a : announcement) =
+  Counters.incr t.counters "tokens_received";
+  if not (has_announcement t ~origin:a.a_origin ~inc:a.a_inc) then
+    t.announcements <- a :: t.announcements;
+  let e = Ftvc.get t.clock a.a_origin in
+  if e.Ftvc.ver = a.a_inc && e.Ftvc.ts > a.a_ts then
+    rollback t ~trigger:a ~conservative:false
+  else if e.Ftvc.ver > a.a_inc && t.dirty.(a.a_origin) then
+    (* The dependency information on the announced incarnation was lost in
+       a blind jump: roll back conservatively past the jump. *)
+    rollback t ~trigger:a ~conservative:true
+
+(* --- failure / restart --- *)
+
+let do_restart t =
+  Counters.incr t.counters "restarts";
+  restore t ~against:(all_known_exact t);
+  let own = Ftvc.own t.clock in
+  Network.broadcast t.net ~traffic:Network.Control ~src:t.pid
+    (W_ann { a_origin = t.pid; a_inc = own.Ftvc.ver; a_ts = own.Ftvc.ts });
+  t.announcements <-
+    { a_origin = t.pid; a_inc = own.Ftvc.ver; a_ts = own.Ftvc.ts }
+    :: t.announcements;
+  t.clock <- Ftvc.restart t.clock;
+  t.alive <- true;
+  Network.set_up t.net t.pid;
+  take_checkpoint t
+
+let fail t =
+  if t.alive then begin
+    t.alive <- false;
+    Counters.incr t.counters "failures";
+    Message_log.crash t.log;
+    Array.fill t.dirty 0 t.n false;
+    Network.set_down t.net t.pid;
+    ignore
+      (Engine.schedule t.engine ~delay:t.config.restart_delay (fun () ->
+           do_restart t))
+  end
+
+(* --- receive path: no deliverability hold --- *)
+
+let receive_app t ~src ~clock ~uid data =
+  ignore uid;
+  if message_obsolete t clock then
+    Counters.incr t.counters "discarded_obsolete"
+  else deliver_now t ~src ~clock data
+
+let inject t data =
+  if t.alive then
+    deliver_now t ~src:env_src ~clock:(Array.make t.n { Ftvc.ver = 0; ts = 0 }) data
+
+let handle_wire t (env : 'm wire Network.envelope) =
+  match env.Network.payload with
+  | W_app { data; clock; sender; uid } -> receive_app t ~src:sender ~clock ~uid data
+  | W_ann a -> receive_announcement t a
+
+let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ~next_uid ()
+    =
+  let t =
+    {
+      pid;
+      n;
+      engine;
+      net;
+      app;
+      config;
+      next_uid;
+      state = app.init pid;
+      clock = Ftvc.create ~n ~me:pid;
+      alive = true;
+      replaying = false;
+      dirty = Array.make n false;
+      log = Message_log.create ();
+      checkpoints = Checkpoint_store.create ();
+      announcements = [];
+      counters = Counters.create ();
+    }
+  in
+  Network.set_handler net pid (fun env -> handle_wire t env);
+  take_checkpoint t;
+  let rec flush_loop () =
+    if t.alive then flush_now t;
+    ignore
+      (Engine.schedule engine ~daemon:true ~delay:config.flush_interval flush_loop)
+  in
+  let rec checkpoint_loop () =
+    if t.alive then take_checkpoint t;
+    ignore
+      (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
+         checkpoint_loop)
+  in
+  ignore
+    (Engine.schedule engine ~daemon:true ~delay:config.flush_interval flush_loop);
+  ignore
+    (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
+       checkpoint_loop);
+  t

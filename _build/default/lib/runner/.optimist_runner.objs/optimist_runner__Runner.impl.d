@@ -1,0 +1,1 @@
+lib/runner/runner.ml: Array Format Hashtbl Int64 List Optimist_core Optimist_net Optimist_oracle Optimist_protocols Optimist_sim Optimist_util Optimist_workload Option String

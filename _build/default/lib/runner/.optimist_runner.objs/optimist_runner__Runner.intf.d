@@ -1,0 +1,1 @@
+lib/runner/runner.mli: Format Optimist_net Optimist_workload

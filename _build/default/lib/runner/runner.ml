@@ -1,0 +1,261 @@
+module Engine = Optimist_sim.Engine
+module Network = Optimist_net.Network
+module Counters = Optimist_util.Stats.Counters
+module Types = Optimist_core.Types
+module System = Optimist_core.System
+module Process = Optimist_core.Process
+module Oracle = Optimist_oracle.Oracle
+module Schedule = Optimist_workload.Schedule
+module Traffic = Optimist_workload.Traffic
+module Pessimistic = Optimist_protocols.Pessimistic
+module Sender_based = Optimist_protocols.Sender_based
+module Strom_yemini = Optimist_protocols.Strom_yemini
+module Peterson_kearns = Optimist_protocols.Peterson_kearns
+module Checkpoint_only = Optimist_protocols.Checkpoint_only
+module Coordinated = Optimist_protocols.Coordinated
+
+type protocol =
+  | Damani_garg
+  | Damani_garg_no_hold
+  | Pessimistic
+  | Sender_based
+  | Strom_yemini
+  | Peterson_kearns
+  | Checkpoint_only
+  | Coordinated
+
+let all_protocols =
+  [
+    Damani_garg;
+    Damani_garg_no_hold;
+    Pessimistic;
+    Sender_based;
+    Strom_yemini;
+    Peterson_kearns;
+    Checkpoint_only;
+    Coordinated;
+  ]
+
+let protocol_name = function
+  | Damani_garg -> "damani-garg"
+  | Damani_garg_no_hold -> "damani-garg-nohold"
+  | Pessimistic -> "pessimistic"
+  | Sender_based -> "sender-based"
+  | Strom_yemini -> "strom-yemini"
+  | Peterson_kearns -> "peterson-kearns"
+  | Checkpoint_only -> "checkpoint-only"
+  | Coordinated -> "coordinated"
+
+let protocol_of_string s =
+  List.find_opt (fun p -> protocol_name p = s) all_protocols
+
+type params = {
+  protocol : protocol;
+  n : int;
+  seed : int64;
+  pattern : Traffic.pattern;
+  rate : float;
+  duration : float;
+  hops : int;
+  faults : Schedule.fault list;
+  ordering : Network.ordering;
+  with_oracle : bool;
+}
+
+let default_params =
+  {
+    protocol = Damani_garg;
+    n = 4;
+    seed = 1L;
+    pattern = Traffic.Uniform;
+    rate = 0.05;
+    duration = 500.0;
+    hops = 6;
+    faults = [];
+    ordering = Network.Reorder;
+    with_oracle = false;
+  }
+
+type report = {
+  r_protocol : string;
+  r_params : params;
+  r_counters : (string * int) list;
+  r_net : (string * int) list;
+  r_digests : int list;
+  r_events : int;
+  r_virtual_end : float;
+  r_oracle_stats : (int * int * int) option;
+  r_violations : string list;
+}
+
+let counter r name =
+  match List.assoc_opt name r.r_counters with Some v -> v | None -> 0
+
+let merge_counters dumps =
+  let acc = Hashtbl.create 32 in
+  List.iter
+    (fun dump ->
+      List.iter
+        (fun (k, v) ->
+          match Hashtbl.find_opt acc k with
+          | Some r -> r := !r + v
+          | None -> Hashtbl.add acc k (ref v))
+        dump)
+    dumps;
+  Hashtbl.fold (fun k r l -> (k, !r) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let injections params =
+  Schedule.poisson_injections ~seed:(Int64.add params.seed 7919L) ~n:params.n
+    ~rate:params.rate ~duration:params.duration ~hops:params.hops
+
+let net_config params =
+  { (Network.default_config ~n:params.n) with Network.ordering = params.ordering }
+
+(* The Damani-Garg variants run through System (they share lib/core). *)
+let run_damani params ~hold =
+  let oracle = if params.with_oracle then Some (Oracle.create ~n:params.n) else None in
+  let tracer = Option.map Oracle.tracer oracle in
+  let config = { Types.default_config with Types.hold_undeliverable = hold } in
+  let app = Traffic.app ~n:params.n params.pattern in
+  let sys =
+    System.create ~seed:params.seed ~net_config:(net_config params) ~config
+      ?tracer ~n:params.n ~app ()
+  in
+  let schedule = Schedule.make ~injections:(injections params) ~faults:params.faults in
+  Schedule.apply schedule
+    ~inject:(fun ~at ~pid msg -> System.inject_at sys ~at ~pid msg)
+    ~crash:(fun ~at ~pid -> System.fail_at sys ~at ~pid)
+    ~partition:(fun ~at ~groups -> System.partition_at sys ~at ~groups)
+    ~heal:(fun ~at -> System.heal_at sys ~at);
+  System.run sys;
+  let engine = System.engine sys in
+  let dumps = List.map snd (System.counters sys) in
+  let history_records =
+    Array.fold_left
+      (fun acc p -> acc + Process.history_record_count p)
+      0 (System.processes sys)
+  in
+  {
+    r_protocol =
+      (if hold then protocol_name Damani_garg
+       else protocol_name Damani_garg_no_hold);
+    r_params = params;
+    r_counters = merge_counters ([ ("history_records", history_records) ] :: dumps);
+    r_net = Counters.to_list (Network.stats (System.network sys));
+    r_digests =
+      Array.to_list
+        (Array.map (fun p -> Traffic.digest (Process.state p)) (System.processes sys));
+    r_events = Engine.events_fired engine;
+    r_virtual_end = Engine.now engine;
+    r_oracle_stats = Option.map Oracle.status_counts oracle;
+    r_violations =
+      (match oracle with
+      | None -> []
+      | Some o ->
+          List.map
+            (fun v -> v.Oracle.check ^ ": " ^ v.Oracle.detail)
+            (Oracle.check o));
+  }
+
+(* Generic driver for the baselines, which share the same surface. *)
+let run_baseline (type w t) params ~name
+    ~(make_net : Engine.t -> Network.config -> w)
+    ~(create :
+       engine:Engine.t ->
+       net:w ->
+       app:(Traffic.state, Traffic.msg) Types.app ->
+       id:int ->
+       n:int ->
+       next_uid:(unit -> int) ->
+       unit ->
+       t) ~(inject : t -> Traffic.msg -> unit) ~(fail : t -> unit)
+    ~(counters : t -> Counters.t) ~(state : t -> Traffic.state) =
+  let engine = Engine.create ~seed:params.seed () in
+  let net = make_net engine (net_config params) in
+  let uid = ref 0 in
+  let next_uid () = incr uid; !uid in
+  let app = Traffic.app ~n:params.n params.pattern in
+  let procs =
+    Array.init params.n (fun id ->
+        create ~engine ~net ~app ~id ~n:params.n ~next_uid ())
+  in
+  let schedule = Schedule.make ~injections:(injections params) ~faults:params.faults in
+  Schedule.apply schedule
+    ~inject:(fun ~at ~pid msg ->
+      ignore (Engine.schedule_at engine at (fun () -> inject procs.(pid) msg)))
+    ~crash:(fun ~at ~pid ->
+      ignore (Engine.schedule_at engine at (fun () -> fail procs.(pid))))
+    ~partition:(fun ~at:_ ~groups:_ -> ())
+    ~heal:(fun ~at:_ -> ());
+  Engine.run engine;
+  {
+    r_protocol = name;
+    r_params = params;
+    r_counters =
+      merge_counters (Array.to_list (Array.map (fun p -> Counters.to_list (counters p)) procs));
+    r_net = [];
+    r_digests = Array.to_list (Array.map (fun p -> Traffic.digest (state p)) procs);
+    r_events = Engine.events_fired engine;
+    r_virtual_end = Engine.now engine;
+    r_oracle_stats = None;
+    r_violations = [];
+  }
+
+let run params =
+  match params.protocol with
+  | Damani_garg -> run_damani params ~hold:true
+  | Damani_garg_no_hold -> run_damani params ~hold:false
+  | Pessimistic ->
+      run_baseline params ~name:(protocol_name Pessimistic)
+        ~make_net:Pessimistic.make_net
+        ~create:(fun ~engine ~net ~app ~id ~n ~next_uid () ->
+          Pessimistic.create ~engine ~net ~app ~id ~n ~next_uid ())
+        ~inject:Pessimistic.inject ~fail:Pessimistic.fail
+        ~counters:Pessimistic.counters ~state:Pessimistic.state
+  | Sender_based ->
+      run_baseline params ~name:(protocol_name Sender_based)
+        ~make_net:Sender_based.make_net
+        ~create:(fun ~engine ~net ~app ~id ~n ~next_uid () ->
+          Sender_based.create ~engine ~net ~app ~id ~n ~next_uid ())
+        ~inject:Sender_based.inject ~fail:Sender_based.fail
+        ~counters:Sender_based.counters ~state:Sender_based.state
+  | Strom_yemini ->
+      run_baseline params ~name:(protocol_name Strom_yemini)
+        ~make_net:Strom_yemini.make_net
+        ~create:(fun ~engine ~net ~app ~id ~n ~next_uid () ->
+          Strom_yemini.create ~engine ~net ~app ~id ~n ~next_uid ())
+        ~inject:Strom_yemini.inject ~fail:Strom_yemini.fail
+        ~counters:Strom_yemini.counters ~state:Strom_yemini.state
+  | Peterson_kearns ->
+      run_baseline params ~name:(protocol_name Peterson_kearns)
+        ~make_net:Peterson_kearns.make_net
+        ~create:(fun ~engine ~net ~app ~id ~n ~next_uid () ->
+          Peterson_kearns.create ~engine ~net ~app ~id ~n ~next_uid ())
+        ~inject:Peterson_kearns.inject ~fail:Peterson_kearns.fail
+        ~counters:Peterson_kearns.counters ~state:Peterson_kearns.state
+  | Checkpoint_only ->
+      run_baseline params ~name:(protocol_name Checkpoint_only)
+        ~make_net:Checkpoint_only.make_net
+        ~create:(fun ~engine ~net ~app ~id ~n ~next_uid () ->
+          Checkpoint_only.create ~engine ~net ~app ~id ~n ~next_uid ())
+        ~inject:Checkpoint_only.inject ~fail:Checkpoint_only.fail
+        ~counters:Checkpoint_only.counters ~state:Checkpoint_only.state
+  | Coordinated ->
+      run_baseline params ~name:(protocol_name Coordinated)
+        ~make_net:Coordinated.make_net
+        ~create:(fun ~engine ~net ~app ~id ~n ~next_uid () ->
+          Coordinated.create ~engine ~net ~app ~id ~n ~next_uid ())
+        ~inject:Coordinated.inject ~fail:Coordinated.fail
+        ~counters:Coordinated.counters ~state:Coordinated.state
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>protocol: %s@,events: %d  virtual end: %.1f@," r.r_protocol
+    r.r_events r.r_virtual_end;
+  List.iter (fun (k, v) -> Format.fprintf ppf "%-28s %d@," k v) r.r_counters;
+  (match r.r_oracle_stats with
+  | Some (live, lost, discarded) ->
+      Format.fprintf ppf "oracle: live=%d lost=%d discarded=%d@," live lost discarded
+  | None -> ());
+  List.iter (fun v -> Format.fprintf ppf "VIOLATION %s@," v) r.r_violations;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,59 @@
+(** Experiment runner: one entry point that executes the same workload and
+    fault schedule under any of the implemented recovery protocols and
+    returns normalized metrics. The bench harness builds every table of
+    EXPERIMENTS.md out of these reports. *)
+
+module Network = Optimist_net.Network
+module Schedule = Optimist_workload.Schedule
+module Traffic = Optimist_workload.Traffic
+
+type protocol =
+  | Damani_garg  (** the paper's protocol, lib/core *)
+  | Damani_garg_no_hold  (** ablation: deliverability hold disabled *)
+  | Pessimistic
+  | Sender_based
+  | Strom_yemini
+  | Peterson_kearns
+  | Checkpoint_only
+  | Coordinated  (** consistent checkpointing, Koo-Toueg style *)
+
+val all_protocols : protocol list
+
+val protocol_name : protocol -> string
+
+val protocol_of_string : string -> protocol option
+
+type params = {
+  protocol : protocol;
+  n : int;
+  seed : int64;
+  pattern : Traffic.pattern;
+  rate : float;  (** environment injections per process per time unit *)
+  duration : float;  (** injection window; the run then drains *)
+  hops : int;  (** forwarding chain length per injection *)
+  faults : Schedule.fault list;
+  ordering : Network.ordering;
+  with_oracle : bool;
+      (** attach the ground-truth oracle (Damani-garg variants only) *)
+}
+
+val default_params : params
+
+type report = {
+  r_protocol : string;
+  r_params : params;
+  r_counters : (string * int) list;  (** summed over processes *)
+  r_net : (string * int) list;
+  r_digests : int list;  (** final application digests, per process *)
+  r_events : int;  (** simulation events executed *)
+  r_virtual_end : float;  (** virtual time at quiescence *)
+  r_oracle_stats : (int * int * int) option;  (** live, lost, discarded *)
+  r_violations : string list;  (** oracle check failures (empty = clean) *)
+}
+
+val counter : report -> string -> int
+(** 0 when absent. *)
+
+val run : params -> report
+
+val pp_report : Format.formatter -> report -> unit

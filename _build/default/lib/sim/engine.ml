@@ -1,0 +1,95 @@
+module Prng = Optimist_util.Prng
+module Heap = Optimist_util.Heap
+
+type time = float
+
+type key = { at : time; seq : int }
+
+type event = {
+  action : unit -> unit;
+  daemon : bool;
+  mutable cancelled : bool;
+}
+
+type cancel = event
+
+type t = {
+  mutable clock : time;
+  mutable seq : int;
+  mutable fired : int;
+  mutable live_work : int; (* pending non-daemon, non-cancelled events *)
+  queue : (key, event) Heap.t;
+  rng : Prng.t;
+}
+
+let compare_key a b =
+  let c = compare a.at b.at in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ?(seed = 1L) () =
+  {
+    clock = 0.0;
+    seq = 0;
+    fired = 0;
+    live_work = 0;
+    queue = Heap.create ~cmp:compare_key ();
+    rng = Prng.create seed;
+  }
+
+let now t = t.clock
+
+let rng t = t.rng
+
+let schedule_at t ?(daemon = false) at action =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: %g is in the past (now %g)" at
+         t.clock);
+  let ev = { action; daemon; cancelled = false } in
+  Heap.push t.queue { at; seq = t.seq } ev;
+  t.seq <- t.seq + 1;
+  if not daemon then t.live_work <- t.live_work + 1;
+  ev
+
+let schedule t ?daemon ~delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ?daemon (t.clock +. delay) action
+
+let cancel t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    if not ev.daemon then t.live_work <- t.live_work - 1
+  end
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (key, ev) ->
+      t.clock <- key.at;
+      if not ev.cancelled then begin
+        if not ev.daemon then t.live_work <- t.live_work - 1;
+        t.fired <- t.fired + 1;
+        ev.action ()
+      end;
+      true
+
+let run ?until ?(max_events = 50_000_000) t =
+  let budget = ref max_events in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    if t.live_work = 0 then continue := false
+    else
+      match Heap.peek t.queue with
+      | None -> continue := false
+      | Some (key, _) -> (
+          match until with
+          | Some horizon when key.at > horizon -> continue := false
+          | _ ->
+              ignore (step t);
+              decr budget)
+  done;
+  if !budget = 0 then failwith "Engine.run: event budget exhausted"
+
+let pending t = Heap.length t.queue
+
+let events_fired t = t.fired

@@ -1,0 +1,58 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns virtual time and a queue of pending events. Events
+    scheduled for the same instant fire in scheduling order, so a run is a
+    pure function of the seed and the model — which is what lets the test
+    suite replay any failing scenario from its printed seed.
+
+    The recovery protocols, the network model, and the failure injector are
+    all expressed as event handlers over one shared engine. *)
+
+type t
+
+type time = float
+(** Virtual time. Starts at 0. *)
+
+type cancel
+(** Handle for revoking a scheduled event. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ~seed ()] makes an engine whose PRNG is seeded with [seed]
+    (default [1L]). *)
+
+val now : t -> time
+
+val rng : t -> Optimist_util.Prng.t
+(** The engine's root PRNG. Components should [Prng.split] their own
+    stream from it at setup time. *)
+
+val schedule : t -> ?daemon:bool -> delay:time -> (unit -> unit) -> cancel
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. [delay] must be
+    non-negative. Returns a cancellation handle.
+
+    A [daemon] event (default [false]) does not keep the simulation alive:
+    [run] stops once only daemon events remain. Periodic self-rescheduling
+    timers (log flush, checkpointing) are daemons; everything that is real
+    work (message deliveries, crashes, stimuli) is not. *)
+
+val schedule_at : t -> ?daemon:bool -> time -> (unit -> unit) -> cancel
+(** Absolute-time variant; the time must not be in the past. *)
+
+val cancel : t -> cancel -> unit
+(** Revoke a pending event; no effect if it already fired or was
+    cancelled. *)
+
+val run : ?until:time -> ?max_events:int -> t -> unit
+(** Drain the event queue. Stops when no non-daemon events remain, when
+    virtual time would exceed [until], or after [max_events] events (a
+    runaway guard; default 50 million). Events at exactly [until] still
+    fire. *)
+
+val step : t -> bool
+(** Fire the single next event; [false] when the queue is empty. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled tombstones). *)
+
+val events_fired : t -> int
+(** Total events executed since creation. *)

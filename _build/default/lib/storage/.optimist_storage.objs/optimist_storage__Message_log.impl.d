@@ -1,0 +1,1 @@
+lib/storage/message_log.ml: Array List Optimist_util Printf

@@ -1,0 +1,1 @@
+lib/storage/message_log.mli: Optimist_util

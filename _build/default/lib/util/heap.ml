@@ -1,0 +1,79 @@
+type ('k, 'v) t = {
+  cmp : 'k -> 'k -> int;
+  mutable data : ('k * 'v) array;
+  mutable size : int;
+}
+
+let create ~cmp () = { cmp; data = [||]; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let grow t =
+  let capacity = Array.length t.data in
+  if t.size = capacity then begin
+    let next = max 16 (2 * capacity) in
+    (* The dummy element is never read below index [size]. *)
+    let dummy = t.data.(0) in
+    let data = Array.make next dummy in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp (fst t.data.(i)) (fst t.data.(parent)) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = i in
+  let smallest =
+    if left < t.size && t.cmp (fst t.data.(left)) (fst t.data.(smallest)) < 0
+    then left else smallest
+  in
+  let smallest =
+    if right < t.size && t.cmp (fst t.data.(right)) (fst t.data.(smallest)) < 0
+    then right else smallest
+  in
+  if smallest <> i then begin
+    swap t i smallest;
+    sift_down t smallest
+  end
+
+let push t k v =
+  if Array.length t.data = 0 then t.data <- Array.make 16 (k, v);
+  grow t;
+  t.data.(t.size) <- (k, v);
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let root = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some root
+  end
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let clear t = t.size <- 0
+
+let to_list t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
+  loop (t.size - 1) []

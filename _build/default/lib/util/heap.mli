@@ -1,0 +1,25 @@
+(** Imperative binary min-heap, parameterized by an ordering on keys.
+
+    The simulation engine stores pending events here keyed by
+    [(time, sequence-number)] so that ties in virtual time break
+    deterministically in insertion order. *)
+
+type ('k, 'v) t
+
+val create : cmp:('k -> 'k -> int) -> unit -> ('k, 'v) t
+
+val length : ('k, 'v) t -> int
+
+val is_empty : ('k, 'v) t -> bool
+
+val push : ('k, 'v) t -> 'k -> 'v -> unit
+
+val pop : ('k, 'v) t -> ('k * 'v) option
+(** Removes and returns the minimum binding, or [None] when empty. *)
+
+val peek : ('k, 'v) t -> ('k * 'v) option
+
+val clear : ('k, 'v) t -> unit
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** All bindings in unspecified order; for inspection in tests. *)

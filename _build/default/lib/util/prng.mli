@@ -1,0 +1,51 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator flows through a [Prng.t] seeded
+    explicitly, so every run is reproducible from its seed. The generator is
+    SplitMix64 (Steele, Lea & Flood 2014): tiny state, good statistical
+    quality, and cheap [split] for deriving independent streams — one stream
+    per simulated process keeps traces stable when unrelated components are
+    added or removed. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy at the current position. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound). Raises
+    [Invalid_argument] if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] draws uniformly from the inclusive range [lo, hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean; used for Poisson
+    message arrivals and latency models. *)
+
+val uniform_float : t -> lo:float -> hi:float -> float
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,111 @@
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable total : float;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; total = 0.0; mean = 0.0; m2 = 0.0; min = nan; max = nan }
+
+  (* Welford's online algorithm keeps the variance numerically stable for
+     long runs. *)
+  let add t x =
+    t.count <- t.count + 1;
+    t.total <- t.total +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if t.count = 1 then begin
+      t.min <- x;
+      t.max <- x
+    end
+    else begin
+      if x < t.min then t.min <- x;
+      if x > t.max then t.max <- x
+    end
+
+  let count t = t.count
+  let total t = t.total
+  let mean t = if t.count = 0 then 0.0 else t.mean
+  let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int t.count
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+
+  let pp ppf t =
+    Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.count
+      (mean t) (stddev t) t.min t.max
+end
+
+module Histogram = struct
+  type t = {
+    bounds : float array;
+    counts : int array; (* length = Array.length bounds + 1, last = overflow *)
+    mutable count : int;
+  }
+
+  let default_buckets =
+    let rec loop acc x =
+      if x > 1.0e6 then List.rev acc else loop (x :: acc) (x *. 3.1622776601683795)
+    in
+    Array.of_list (loop [] 1.0)
+
+  let create ?(buckets = default_buckets) () =
+    { bounds = buckets; counts = Array.make (Array.length buckets + 1) 0; count = 0 }
+
+  let add t x =
+    let n = Array.length t.bounds in
+    let rec find i = if i >= n || x <= t.bounds.(i) then i else find (i + 1) in
+    let i = find 0 in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.count <- t.count + 1
+
+  let count t = t.count
+
+  let percentile t q =
+    if t.count = 0 then nan
+    else begin
+      let target = q *. float_of_int t.count in
+      let n = Array.length t.bounds in
+      let rec loop i acc =
+        if i > n then infinity
+        else
+          let acc = acc + t.counts.(i) in
+          if float_of_int acc >= target then
+            if i < n then t.bounds.(i) else infinity
+          else loop (i + 1) acc
+      in
+      loop 0 0
+    end
+
+  let pp ppf t =
+    Format.fprintf ppf "n=%d p50<=%.1f p99<=%.1f" t.count (percentile t 0.5)
+      (percentile t 0.99)
+end
+
+module Counters = struct
+  type t = (string, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 32
+
+  let incr ?(by = 1) t name =
+    match Hashtbl.find_opt t name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add t name (ref by)
+
+  let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+  let to_list t =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let pp ppf t =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf "@\n")
+      (fun ppf (k, v) -> Format.fprintf ppf "%-40s %d" k v)
+      ppf (to_list t)
+end

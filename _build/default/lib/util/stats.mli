@@ -1,0 +1,59 @@
+(** Streaming descriptive statistics and named counters.
+
+    Experiment runs accumulate observations (latencies, rollback depths,
+    piggyback sizes) into [Summary.t] values and integer [Counter]s; the
+    bench harness turns them into the rows of the paper's tables. *)
+
+module Summary : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val variance : t -> float
+  (** Population variance (Welford); 0 when fewer than two samples. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** [nan] when empty. *)
+
+  val max : t -> float
+  (** [nan] when empty. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Histogram : sig
+  type t
+
+  val create : ?buckets:float array -> unit -> t
+  (** [buckets] are upper bounds of the histogram bins, strictly
+      increasing; observations above the last bound land in an overflow
+      bin. The default covers 1..10^6 in half-decade steps. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  val percentile : t -> float -> float
+  (** [percentile t 0.99] returns an upper bound of the bucket containing
+      the given quantile; [nan] when empty. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Counters : sig
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> string -> unit
+  val get : t -> string -> int
+  val to_list : t -> (string * int) list
+  (** Sorted by name. *)
+
+  val pp : Format.formatter -> t -> unit
+end

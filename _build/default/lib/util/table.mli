@@ -1,0 +1,19 @@
+(** Plain-text table rendering for experiment output.
+
+    Produces the aligned rows the bench harness prints when regenerating the
+    paper's tables. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the header. *)
+
+val add_separator : t -> unit
+
+val render : t -> string
+
+val pp : Format.formatter -> t -> unit

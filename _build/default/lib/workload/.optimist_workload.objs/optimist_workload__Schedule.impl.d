@@ -1,0 +1,1 @@
+lib/workload/schedule.ml: Int64 List Optimist_util Traffic

@@ -1,0 +1,1 @@
+lib/workload/traffic.ml: Optimist_core

@@ -1,0 +1,1 @@
+lib/workload/traffic.mli: Optimist_core

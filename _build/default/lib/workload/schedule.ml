@@ -1,0 +1,54 @@
+module Prng = Optimist_util.Prng
+
+type injection = { at : float; pid : int; key : int; hops : int }
+
+type fault =
+  | Crash of { at : float; pid : int }
+  | Partition of { at : float; groups : int list list }
+  | Heal of { at : float }
+
+type t = { injections : injection list; faults : fault list }
+
+let poisson_injections ~seed ~n ~rate ~duration ~hops =
+  if rate <= 0.0 then []
+  else begin
+    let rng = Prng.create seed in
+    let mean = 1.0 /. rate in
+    let acc = ref [] in
+    for pid = 0 to n - 1 do
+      let stream = Prng.split rng in
+      let rec arrivals t =
+        let t = t +. Prng.exponential stream ~mean in
+        if t <= duration then begin
+          acc := { at = t; pid; key = Int64.to_int (Prng.next_int64 stream) land 0xFFFFFF; hops } :: !acc;
+          arrivals t
+        end
+      in
+      arrivals 0.0
+    done;
+    List.sort (fun a b -> compare a.at b.at) !acc
+  end
+
+let random_crashes ~seed ~n ~failures ~window:(lo, hi) =
+  let rng = Prng.create seed in
+  List.init failures (fun _ ->
+      Crash { at = Prng.uniform_float rng ~lo ~hi; pid = Prng.int rng n })
+  |> List.sort (fun a b ->
+         match (a, b) with Crash x, Crash y -> compare x.at y.at | _ -> 0)
+
+let simultaneous_crashes ~at ~pids =
+  List.map (fun pid -> Crash { at; pid }) pids
+
+let make ~injections ~faults = { injections; faults }
+
+let apply t ~inject ~crash ~partition ~heal =
+  List.iter
+    (fun i -> inject ~at:i.at ~pid:i.pid (Traffic.fresh ~key:i.key ~hops:i.hops))
+    t.injections;
+  List.iter
+    (fun f ->
+      match f with
+      | Crash { at; pid } -> crash ~at ~pid
+      | Partition { at; groups } -> partition ~at ~groups
+      | Heal { at } -> heal ~at)
+    t.faults

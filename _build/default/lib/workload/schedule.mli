@@ -1,0 +1,48 @@
+(** Stimulus and fault schedules for experiments.
+
+    Schedules are generated up front from an explicit seed (independent of
+    the engine's PRNG) so that the same workload can be replayed against
+    different protocols and configurations. *)
+
+type injection = { at : float; pid : int; key : int; hops : int }
+
+type fault =
+  | Crash of { at : float; pid : int }
+  | Partition of { at : float; groups : int list list }
+  | Heal of { at : float }
+
+type t = { injections : injection list; faults : fault list }
+
+val poisson_injections :
+  seed:int64 ->
+  n:int ->
+  rate:float ->
+  duration:float ->
+  hops:int ->
+  injection list
+(** Poisson arrivals at [rate] per process over [0, duration]; each
+    injection starts a chain of [hops] forwarded messages. *)
+
+val random_crashes :
+  seed:int64 ->
+  n:int ->
+  failures:int ->
+  window:float * float ->
+  fault list
+(** [failures] crash events at uniform times in the window, on uniformly
+    chosen processes (possibly the same process repeatedly — the paper's
+    [f] failures per process). *)
+
+val simultaneous_crashes : at:float -> pids:int list -> fault list
+(** Concurrent failures, Section 6.8. *)
+
+val make : injections:injection list -> faults:fault list -> t
+
+val apply :
+  t ->
+  inject:(at:float -> pid:int -> Traffic.msg -> unit) ->
+  crash:(at:float -> pid:int -> unit) ->
+  partition:(at:float -> groups:int list list -> unit) ->
+  heal:(at:float -> unit) ->
+  unit
+(** Hand every scheduled event to the protocol-specific callbacks. *)

@@ -1,0 +1,51 @@
+type msg = { key : int; hops : int }
+
+type state = { count : int; acc : int }
+
+type pattern = Uniform | Ring | Pipeline | Client_server of int
+
+(* A small integer mixer (xorshift-multiply); pure, so routing decisions
+   replay identically. *)
+let mix a b c =
+  let h = (a * 0x9E3779B1) lxor (b * 0x85EBCA77) lxor (c * 0xC2B2AE3D) in
+  let h = h lxor (h lsr 15) in
+  let h = h * 0x27D4EB2F in
+  (h lxor (h lsr 13)) land max_int
+
+let route ~n ~pattern ~me ~src ~key ~count =
+  match pattern with
+  | Uniform ->
+      let d = mix me key count mod (n - 1) in
+      if d >= me then d + 1 else d (* any peer but self *)
+  | Ring -> (me + 1) mod n
+  | Pipeline -> if me + 1 < n then me + 1 else -1
+  | Client_server k ->
+      if me < k then if src >= 0 then src else -1 (* server answers caller *)
+      else mix me key count mod k (* client picks a server *)
+
+let app ~n pattern =
+  if n < 2 then invalid_arg "Traffic.app: need at least two processes";
+  (match pattern with
+  | Client_server k when k <= 0 || k >= n ->
+      invalid_arg "Traffic.app: server count out of range"
+  | _ -> ());
+  {
+    Optimist_core.Types.init = (fun _ -> { count = 0; acc = 0 });
+    on_message =
+      (fun ~me ~src state m ->
+        let state' =
+          { count = state.count + 1; acc = mix state.acc m.key state.count }
+        in
+        let sends =
+          if m.hops <= 0 then []
+          else
+            let dst = route ~n ~pattern ~me ~src ~key:m.key ~count:state.count in
+            if dst < 0 then []
+            else [ (dst, { key = mix m.key me state.count; hops = m.hops - 1 }) ]
+        in
+        (state', sends));
+  }
+
+let fresh ~key ~hops = { key; hops }
+
+let digest state = state.acc

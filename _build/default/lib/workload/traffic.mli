@@ -1,0 +1,36 @@
+(** Synthetic piecewise-deterministic applications.
+
+    The paper's computation model needs nothing from the application except
+    determinism: on each delivery the handler's new state and outgoing
+    messages must be a function of the current state and the message. The
+    [msg] type carries a hop counter and a key; the handler forwards the
+    message [hops] more times along a pattern-specific route, mixing the key
+    into an accumulator so that divergent replays would be caught by state
+    comparison.
+
+    All routing "randomness" is a hash of (process, key, local count) — a
+    pure function, so replay regenerates identical sends. *)
+
+type msg = { key : int; hops : int }
+
+type state = {
+  count : int;  (** deliveries processed *)
+  acc : int;  (** order-sensitive digest of everything processed *)
+}
+
+type pattern =
+  | Uniform  (** forward to a hash-chosen peer *)
+  | Ring  (** forward to (me + 1) mod n *)
+  | Pipeline  (** forward to me + 1, stop at the last stage *)
+  | Client_server of int
+      (** [Client_server k]: processes [0..k-1] are servers; clients route
+          requests to a hash-chosen server, servers reply to the caller *)
+
+val app : n:int -> pattern -> (state, msg) Optimist_core.Types.app
+
+val fresh : key:int -> hops:int -> msg
+(** A stimulus to inject. *)
+
+val digest : state -> int
+(** Order-sensitive digest; equal digests across a replayed prefix certify
+    deterministic re-execution. *)

@@ -1,0 +1,1 @@
+test/test_ftvc.ml: Alcotest Array Format Gen Int64 List Optimist_clock Optimist_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest Array List Optimist_core Optimist_net Optimist_oracle Optimist_sim Optimist_workload String

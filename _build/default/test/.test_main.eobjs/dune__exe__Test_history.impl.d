@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Gen Hashtbl List Optimist_clock Optimist_history QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Array Int64 List Optimist_clock Optimist_util QCheck QCheck_alcotest

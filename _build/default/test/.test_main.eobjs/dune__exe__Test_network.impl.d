@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest List Optimist_net Optimist_sim Optimist_util

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array List Optimist_clock Optimist_core Optimist_oracle

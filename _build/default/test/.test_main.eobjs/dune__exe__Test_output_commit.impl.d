@@ -1,0 +1,1 @@
+test/test_output_commit.ml: Alcotest List Optimist_core Optimist_net

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Fun Int64 List Optimist_core Optimist_net Optimist_oracle Optimist_sim Optimist_util Optimist_workload String

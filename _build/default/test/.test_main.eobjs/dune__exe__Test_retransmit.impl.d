@@ -1,0 +1,1 @@
+test/test_retransmit.ml: Alcotest Array List Optimist_core Optimist_net Optimist_oracle String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest List Optimist_storage Optimist_util

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Array List Optimist_core Optimist_oracle Optimist_sim Optimist_workload String

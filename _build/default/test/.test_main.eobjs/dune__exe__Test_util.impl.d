@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen Int64 List Optimist_util QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_vclock.ml: Alcotest Format List Optimist_clock QCheck QCheck_alcotest

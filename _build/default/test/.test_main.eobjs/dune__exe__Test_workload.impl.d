@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Optimist_core Optimist_workload Printf QCheck QCheck_alcotest

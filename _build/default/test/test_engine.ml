@@ -1,0 +1,134 @@
+(* Tests of the discrete-event engine: ordering, determinism, cancellation,
+   daemon semantics. *)
+
+module Engine = Optimist_sim.Engine
+
+let test_time_order () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  let note tag () = fired := tag :: !fired in
+  ignore (Engine.schedule e ~delay:3.0 (note "c"));
+  ignore (Engine.schedule e ~delay:1.0 (note "a"));
+  ignore (Engine.schedule e ~delay:2.0 (note "b"));
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !fired);
+  Alcotest.(check (float 1e-9)) "final time" 3.0 (Engine.now e)
+
+let test_tie_break_fifo () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~delay:5.0 (fun () -> fired := i :: !fired))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int))
+    "ties fire in scheduling order"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (List.rev !fired)
+
+let test_nested_scheduling () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         fired := "outer" :: !fired;
+         ignore
+           (Engine.schedule e ~delay:0.5 (fun () -> fired := "inner" :: !fired))));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !fired);
+  Alcotest.(check (float 1e-9)) "time" 1.5 (Engine.now e)
+
+let test_cancel () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let c = Engine.schedule e ~delay:1.0 (fun () -> incr fired) in
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> incr fired));
+  Engine.cancel e c;
+  Engine.run e;
+  Alcotest.(check int) "only uncancelled fires" 1 !fired
+
+let test_zero_delay () =
+  let e = Engine.create () in
+  let fired = ref false in
+  ignore (Engine.schedule e ~delay:0.0 (fun () -> fired := true));
+  Engine.run e;
+  Alcotest.(check bool) "zero delay fires" true !fired
+
+let test_negative_delay_rejected () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      ignore (Engine.schedule e ~delay:(-1.0) (fun () -> ())))
+
+let test_past_schedule_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> ()));
+  Engine.run e;
+  let raised =
+    try
+      ignore (Engine.schedule_at e 1.0 (fun () -> ()));
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "past rejected" true raised
+
+let test_daemon_does_not_block_exit () =
+  let e = Engine.create () in
+  let daemon_fires = ref 0 in
+  let rec tick () =
+    incr daemon_fires;
+    ignore (Engine.schedule e ~daemon:true ~delay:1.0 tick)
+  in
+  ignore (Engine.schedule e ~daemon:true ~delay:1.0 tick);
+  ignore (Engine.schedule e ~delay:5.5 (fun () -> ()));
+  Engine.run e;
+  (* Daemons at t=1..5 fire while real work remains; the self-rescheduling
+     loop must not keep the engine alive past t=5.5. *)
+  Alcotest.(check int) "daemon fired while work pending" 5 !daemon_fires;
+  Alcotest.(check (float 1e-9)) "stopped at last real event" 5.5 (Engine.now e)
+
+let test_until_horizon () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> fired := 1 :: !fired));
+  ignore (Engine.schedule e ~delay:10.0 (fun () -> fired := 10 :: !fired));
+  Engine.run ~until:5.0 e;
+  Alcotest.(check (list int)) "horizon respected" [ 1 ] (List.rev !fired);
+  Engine.run e;
+  Alcotest.(check (list int)) "resumes" [ 1; 10 ] (List.rev !fired)
+
+let test_step () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> incr fired));
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> incr fired));
+  Alcotest.(check bool) "step 1" true (Engine.step e);
+  Alcotest.(check int) "one fired" 1 !fired;
+  Alcotest.(check bool) "step 2" true (Engine.step e);
+  Alcotest.(check bool) "exhausted" false (Engine.step e)
+
+let test_events_fired_counter () =
+  let e = Engine.create () in
+  for _ = 1 to 7 do
+    ignore (Engine.schedule e ~delay:1.0 (fun () -> ()))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "count" 7 (Engine.events_fired e)
+
+let suite =
+  [
+    Alcotest.test_case "events fire in time order" `Quick test_time_order;
+    Alcotest.test_case "ties break in schedule order" `Quick test_tie_break_fifo;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "cancellation" `Quick test_cancel;
+    Alcotest.test_case "zero delay" `Quick test_zero_delay;
+    Alcotest.test_case "negative delay rejected" `Quick
+      test_negative_delay_rejected;
+    Alcotest.test_case "scheduling in the past rejected" `Quick
+      test_past_schedule_rejected;
+    Alcotest.test_case "daemons do not block exit" `Quick
+      test_daemon_does_not_block_exit;
+    Alcotest.test_case "until horizon" `Quick test_until_horizon;
+    Alcotest.test_case "manual stepping" `Quick test_step;
+    Alcotest.test_case "events fired counter" `Quick test_events_fired_counter;
+  ]

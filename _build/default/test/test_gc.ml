@@ -1,0 +1,128 @@
+(* Tests of checkpoint/log garbage collection (Section 6.5 remark 2):
+   space is reclaimed below the newest stable checkpoint, and recovery
+   still works afterwards. *)
+
+module Network = Optimist_net.Network
+module Types = Optimist_core.Types
+module Process = Optimist_core.Process
+module System = Optimist_core.System
+module Oracle = Optimist_oracle.Oracle
+module Traffic = Optimist_workload.Traffic
+module Schedule = Optimist_workload.Schedule
+
+let make ?(commit = true) ?(n = 3) ?(seed = 15L) () =
+  let oracle = Oracle.create ~n in
+  let config =
+    {
+      Types.default_config with
+      Types.commit_outputs = commit;
+      flush_interval = 20.0;
+      checkpoint_interval = 60.0;
+      restart_delay = 10.0;
+    }
+  in
+  let sys =
+    System.create ~seed ~config ~tracer:(Oracle.tracer oracle) ~n
+      ~app:(Traffic.app ~n Traffic.Uniform) ()
+  in
+  (sys, oracle)
+
+let load sys ~n ~until =
+  List.iter
+    (fun i ->
+      System.inject_at sys ~at:i.Schedule.at ~pid:i.Schedule.pid
+        (Traffic.fresh ~key:i.Schedule.key ~hops:i.Schedule.hops))
+    (Schedule.poisson_injections ~seed:77L ~n ~rate:0.08 ~duration:until ~hops:5)
+
+let total_checkpoints sys =
+  Array.fold_left
+    (fun acc p -> acc + Process.checkpoint_count p)
+    0 (System.processes sys)
+
+let total_log sys =
+  Array.fold_left (fun acc p -> acc + Process.log_length p) 0 (System.processes sys)
+
+let test_gc_reclaims () =
+  let sys, _ = make () in
+  load sys ~n:3 ~until:600.0;
+  System.run sys;
+  System.settle_outputs sys;
+  let cps_before = total_checkpoints sys and log_before = total_log sys in
+  let cps, entries = System.collect_garbage sys in
+  Alcotest.(check bool) "checkpoints reclaimed" true (cps > 0);
+  Alcotest.(check bool) "log entries reclaimed" true (entries > 0);
+  Alcotest.(check int) "checkpoint accounting" (cps_before - cps)
+    (total_checkpoints sys);
+  Alcotest.(check int) "log accounting" (log_before - entries) (total_log sys)
+
+let test_gc_noop_without_frontiers () =
+  let sys, _ = make ~commit:false () in
+  load sys ~n:3 ~until:300.0;
+  System.run sys;
+  Alcotest.(check (pair int int)) "no tracking, no gc" (0, 0)
+    (System.collect_garbage sys)
+
+let test_gc_idempotent () =
+  let sys, _ = make () in
+  load sys ~n:3 ~until:400.0;
+  System.run sys;
+  System.settle_outputs sys;
+  ignore (System.collect_garbage sys);
+  Alcotest.(check (pair int int)) "second pass reclaims nothing" (0, 0)
+    (System.collect_garbage sys)
+
+(* Recovery after GC: crash every process in turn; the retained suffix must
+   still restore a consistent computation. *)
+let test_recovery_after_gc () =
+  let sys, oracle = make () in
+  load sys ~n:3 ~until:400.0;
+  System.run sys;
+  System.settle_outputs sys;
+  ignore (System.collect_garbage sys);
+  (* More traffic, then failures. *)
+  List.iter
+    (fun i ->
+      System.inject_at sys ~at:(500.0 +. i.Schedule.at) ~pid:i.Schedule.pid
+        (Traffic.fresh ~key:i.Schedule.key ~hops:i.Schedule.hops))
+    (Schedule.poisson_injections ~seed:78L ~n:3 ~rate:0.08 ~duration:300.0 ~hops:5);
+  System.fail_at sys ~at:560.0 ~pid:0;
+  System.fail_at sys ~at:640.0 ~pid:2;
+  System.run sys;
+  Alcotest.(check bool) "all alive" true (System.all_alive sys);
+  Alcotest.(check string) "consistent after gc + crashes" ""
+    (String.concat "; "
+       (List.map (fun v -> v.Oracle.check ^ ": " ^ v.Oracle.detail)
+          (Oracle.check oracle)))
+
+(* GC must never reclaim the restore point a pending rollback needs: run
+   GC concurrently with failures and audit. *)
+let test_gc_under_failures () =
+  let sys, oracle = make ~seed:21L () in
+  load sys ~n:3 ~until:800.0;
+  List.iter
+    (fun at -> System.fail_at sys ~at ~pid:(int_of_float at mod 3))
+    [ 150.0; 340.0; 520.0; 700.0 ];
+  (* Interleave GC passes with the run. *)
+  List.iter
+    (fun at ->
+      ignore
+        (Optimist_sim.Engine.schedule_at (System.engine sys) at (fun () ->
+             ignore (System.collect_garbage sys))))
+    [ 200.0; 400.0; 600.0 ];
+  System.run sys;
+  Alcotest.(check bool) "all alive" true (System.all_alive sys);
+  Alcotest.(check string) "consistent with interleaved gc" ""
+    (String.concat "; "
+       (List.map (fun v -> v.Oracle.check ^ ": " ^ v.Oracle.detail)
+          (Oracle.check oracle)))
+
+let suite =
+  [
+    Alcotest.test_case "gc reclaims space" `Quick test_gc_reclaims;
+    Alcotest.test_case "gc is a no-op without frontier tracking" `Quick
+      test_gc_noop_without_frontiers;
+    Alcotest.test_case "gc is idempotent" `Quick test_gc_idempotent;
+    Alcotest.test_case "recovery works after gc" `Quick test_recovery_after_gc;
+    Alcotest.test_case "gc interleaved with failures" `Quick
+      test_gc_under_failures;
+  ]

@@ -1,0 +1,199 @@
+(* Tests of the history mechanism (paper Section 5, Figure 3): record
+   maintenance, the Lemma 3 orphan test and the Lemma 4 obsolete test. *)
+
+module History = Optimist_history.History
+module Ftvc = Optimist_clock.Ftvc
+
+let entry ver ts = { Ftvc.ver; ts }
+
+let test_init () =
+  (* Figure 3: (mes,0,0) for every process, (mes,0,1) for the owner. *)
+  let h = History.create ~n:3 ~me:1 in
+  (match History.find h ~pid:0 ~ver:0 with
+  | Some { History.kind = History.Message; ts = 0; _ } -> ()
+  | _ -> Alcotest.fail "peer init record");
+  (match History.find h ~pid:1 ~ver:0 with
+  | Some { History.kind = History.Message; ts = 1; _ } -> ()
+  | _ -> Alcotest.fail "own init record");
+  Alcotest.(check int) "n records" 3 (History.record_count h)
+
+let test_message_records_keep_max () =
+  let h = History.create ~n:2 ~me:0 in
+  History.note_message_entry h ~pid:1 (entry 0 5);
+  History.note_message_entry h ~pid:1 (entry 0 3);
+  (match History.find h ~pid:1 ~ver:0 with
+  | Some { History.ts = 5; kind = History.Message; _ } -> ()
+  | _ -> Alcotest.fail "max kept");
+  History.note_message_entry h ~pid:1 (entry 0 9);
+  (match History.find h ~pid:1 ~ver:0 with
+  | Some { History.ts = 9; _ } -> ()
+  | _ -> Alcotest.fail "raised to 9")
+
+let test_one_record_per_version () =
+  let h = History.create ~n:2 ~me:0 in
+  History.note_message_entry h ~pid:1 (entry 1 2);
+  History.note_message_entry h ~pid:1 (entry 1 7);
+  History.note_message_entry h ~pid:1 (entry 2 1);
+  Alcotest.(check int) "records for P1"
+    3 (* version 0 init + versions 1 and 2 *)
+    (List.length (History.records h ~pid:1))
+
+let test_token_is_authoritative () =
+  (* The prose rule of Section 5: once a token record exists for a version,
+     message records never replace it. *)
+  let h = History.create ~n:2 ~me:0 in
+  History.note_token h ~pid:1 ~ver:0 ~ts:4;
+  History.note_message_entry h ~pid:1 (entry 0 3);
+  (match History.find h ~pid:1 ~ver:0 with
+  | Some { History.kind = History.Token; ts = 4; _ } -> ()
+  | _ -> Alcotest.fail "token must survive message updates");
+  Alcotest.(check bool) "has_token" true (History.has_token h ~pid:1 ~ver:0)
+
+let test_token_replaces_message () =
+  let h = History.create ~n:2 ~me:0 in
+  History.note_message_entry h ~pid:1 (entry 0 9);
+  History.note_token h ~pid:1 ~ver:0 ~ts:4;
+  (match History.find h ~pid:1 ~ver:0 with
+  | Some { History.kind = History.Token; ts = 4; _ } -> ()
+  | _ -> Alcotest.fail "token replaces message record")
+
+(* --- Lemma 4: obsolete-message test --- *)
+
+let test_obsolete_detection () =
+  let h = History.create ~n:3 ~me:0 in
+  History.note_token h ~pid:1 ~ver:0 ~ts:3;
+  (* Message depending on P1's state (0,4): past the restoration point. *)
+  Alcotest.(check bool) "obsolete" true
+    (History.message_obsolete h ~clock:[| entry 0 0; entry 0 4; entry 0 0 |]);
+  (* (0,3) is the restored state itself: still valid. *)
+  Alcotest.(check bool) "boundary survives" false
+    (History.message_obsolete h ~clock:[| entry 0 0; entry 0 3; entry 0 0 |]);
+  (* A later incarnation is not matched by the version-0 token. *)
+  Alcotest.(check bool) "new incarnation ok" false
+    (History.message_obsolete h ~clock:[| entry 0 0; entry 1 1; entry 0 0 |])
+
+let test_obsolete_needs_token () =
+  let h = History.create ~n:2 ~me:0 in
+  History.note_message_entry h ~pid:1 (entry 0 2);
+  (* No token: no message can be declared obsolete. *)
+  Alcotest.(check bool) "no token, not obsolete" false
+    (History.message_obsolete h ~clock:[| entry 0 0; entry 0 99 |])
+
+(* --- Lemma 3: orphan test --- *)
+
+let test_orphan_detection () =
+  let h = History.create ~n:2 ~me:0 in
+  History.note_message_entry h ~pid:1 (entry 0 5);
+  (* Token (0,3): we know P1's (0,5), which is lost. *)
+  Alcotest.(check bool) "orphan" true
+    (History.orphaned_by_token h ~pid:1 ~ver:0 ~ts:3);
+  (* Token (0,5): our knowledge is exactly the restored state. *)
+  Alcotest.(check bool) "boundary not orphan" false
+    (History.orphaned_by_token h ~pid:1 ~ver:0 ~ts:5);
+  Alcotest.(check bool) "survives_token is the negation" true
+    (History.survives_token h ~pid:1 ~ver:0 ~ts:5)
+
+let test_orphan_needs_message_record () =
+  let h = History.create ~n:2 ~me:0 in
+  History.note_token h ~pid:1 ~ver:1 ~ts:9;
+  (* A token record for the version does not make us orphan. *)
+  Alcotest.(check bool) "token record is not a dependency" false
+    (History.orphaned_by_token h ~pid:1 ~ver:1 ~ts:2)
+
+(* --- deliverability (Section 6.1) --- *)
+
+let test_tokens_complete_below () =
+  let h = History.create ~n:2 ~me:0 in
+  Alcotest.(check bool) "version 0 needs nothing" true
+    (History.tokens_complete_below h ~pid:1 ~ver:0);
+  Alcotest.(check bool) "version 2 needs tokens 0,1" false
+    (History.tokens_complete_below h ~pid:1 ~ver:2);
+  History.note_token h ~pid:1 ~ver:0 ~ts:3;
+  Alcotest.(check bool) "still missing token 1" false
+    (History.tokens_complete_below h ~pid:1 ~ver:2);
+  History.note_token h ~pid:1 ~ver:1 ~ts:7;
+  Alcotest.(check bool) "complete" true
+    (History.tokens_complete_below h ~pid:1 ~ver:2)
+
+let test_copy_isolated () =
+  let h = History.create ~n:2 ~me:0 in
+  History.note_message_entry h ~pid:1 (entry 0 5);
+  let snapshot = History.copy h in
+  History.note_message_entry h ~pid:1 (entry 0 9);
+  (match History.find snapshot ~pid:1 ~ver:0 with
+  | Some { History.ts = 5; _ } -> ()
+  | _ -> Alcotest.fail "copy must not alias")
+
+let test_note_clock_all_components () =
+  let h = History.create ~n:3 ~me:0 in
+  History.note_clock h ~sender_clock:[| entry 0 4; entry 1 2; entry 0 7 |];
+  (match History.find h ~pid:1 ~ver:1 with
+  | Some { History.ts = 2; _ } -> ()
+  | _ -> Alcotest.fail "P1 component noted");
+  (match History.find h ~pid:2 ~ver:0 with
+  | Some { History.ts = 7; _ } -> ()
+  | _ -> Alcotest.fail "P2 component noted")
+
+let test_max_known_version () =
+  let h = History.create ~n:2 ~me:0 in
+  Alcotest.(check int) "initial" 0 (History.max_known_version h ~pid:1);
+  History.note_message_entry h ~pid:1 (entry 3 1);
+  Alcotest.(check int) "after message" 3 (History.max_known_version h ~pid:1)
+
+(* --- property: record count is bounded by distinct versions (the
+   Section 6.9(3) O(n·f) memory claim) --- *)
+
+let prop_record_count_bounded =
+  QCheck.Test.make ~name:"record count bounded by distinct (pid,ver)" ~count:300
+    QCheck.(list_of_size Gen.(0 -- 60) (triple (int_bound 2) (int_bound 3) (int_bound 30)))
+    (fun ops ->
+      let n = 4 in
+      let h = History.create ~n ~me:0 in
+      let seen = Hashtbl.create 16 in
+      for pid = 0 to n - 1 do
+        Hashtbl.replace seen (pid, 0) ()
+      done;
+      List.iter
+        (fun (pid, ver, ts) ->
+          let pid = pid + 1 in
+          Hashtbl.replace seen (pid, ver) ();
+          if ts mod 2 = 0 then History.note_message_entry h ~pid (entry ver ts)
+          else History.note_token h ~pid ~ver ~ts)
+        ops;
+      History.record_count h <= Hashtbl.length seen)
+
+(* --- property: message timestamps never decrease a record, and a token
+   freezes it --- *)
+
+let prop_token_freezes =
+  QCheck.Test.make ~name:"token record survives any later message" ~count:300
+    QCheck.(pair (int_bound 50) (list_of_size Gen.(0 -- 30) (int_bound 100)))
+    (fun (token_ts, msg_ts) ->
+      let h = History.create ~n:2 ~me:0 in
+      History.note_token h ~pid:1 ~ver:2 ~ts:token_ts;
+      List.iter (fun ts -> History.note_message_entry h ~pid:1 (entry 2 ts)) msg_ts;
+      match History.find h ~pid:1 ~ver:2 with
+      | Some { History.kind = History.Token; ts; _ } -> ts = token_ts
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "figure 3 initialisation" `Quick test_init;
+    Alcotest.test_case "message records keep max" `Quick
+      test_message_records_keep_max;
+    Alcotest.test_case "one record per version" `Quick test_one_record_per_version;
+    Alcotest.test_case "token is authoritative" `Quick test_token_is_authoritative;
+    Alcotest.test_case "token replaces message" `Quick test_token_replaces_message;
+    Alcotest.test_case "lemma 4: obsolete detection" `Quick test_obsolete_detection;
+    Alcotest.test_case "obsolete needs a token" `Quick test_obsolete_needs_token;
+    Alcotest.test_case "lemma 3: orphan detection" `Quick test_orphan_detection;
+    Alcotest.test_case "orphan needs a message record" `Quick
+      test_orphan_needs_message_record;
+    Alcotest.test_case "deliverability condition" `Quick test_tokens_complete_below;
+    Alcotest.test_case "copies are isolated" `Quick test_copy_isolated;
+    Alcotest.test_case "note_clock covers all components" `Quick
+      test_note_clock_all_components;
+    Alcotest.test_case "max known version" `Quick test_max_known_version;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_record_count_bounded; prop_token_freezes ]

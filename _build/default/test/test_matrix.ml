@@ -1,0 +1,118 @@
+(* Tests of the matrix clock (the Smith-Johnson-Tygar vector-of-vectors
+   structure the paper's Table 1 compares against). *)
+
+module Ftvc = Optimist_clock.Ftvc
+module Matrix = Optimist_clock.Matrix
+module Prng = Optimist_util.Prng
+
+let test_create () =
+  let m = Matrix.create ~n:3 ~me:1 in
+  Alcotest.(check int) "size" 3 (Matrix.size m);
+  Alcotest.(check int) "me" 1 (Matrix.me m);
+  (* Own row is the ordinary initial clock; rows about peers hold their
+     initial clocks. *)
+  Alcotest.(check bool) "own row" true
+    (Ftvc.equal (Matrix.own m) (Ftvc.create ~n:3 ~me:1));
+  Alcotest.(check bool) "peer row" true
+    (Ftvc.equal (Matrix.get m ~about:0) (Ftvc.create ~n:3 ~me:0))
+
+let test_size_words () =
+  Alcotest.(check int) "2n^2" 32 (Matrix.size_words (Matrix.create ~n:4 ~me:0))
+
+(* Drive matrices and plain FTVCs side by side over a random computation:
+   the own row must behave exactly like the plain clock, and rows about
+   peers must never exceed what the peer actually reached (no
+   clairvoyance) while eventually reflecting relayed knowledge. *)
+let prop_own_row_is_ftvc =
+  QCheck.Test.make ~name:"own row tracks the plain FTVC" ~count:100
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let n = 4 in
+      let rng = Prng.create (Int64.of_int (seed + 1)) in
+      let matrices = Array.init n (fun me -> ref (Matrix.create ~n ~me)) in
+      let clocks = Array.init n (fun me -> ref (Ftvc.create ~n ~me)) in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        let src = Prng.int rng n in
+        let dst = (src + 1 + Prng.int rng (n - 1)) mod n in
+        (* send: matrix piggybacked whole; both clocks tick *)
+        let m_wire = !(matrices.(src)) in
+        let c_wire = !(clocks.(src)) in
+        matrices.(src) := Matrix.set_own m_wire (Ftvc.sent (Matrix.own m_wire));
+        clocks.(src) := Ftvc.sent c_wire;
+        matrices.(dst) := Matrix.deliver !(matrices.(dst)) ~received:m_wire;
+        clocks.(dst) := Ftvc.deliver !(clocks.(dst)) ~received:c_wire;
+        for i = 0 to n - 1 do
+          if not (Ftvc.equal (Matrix.own !(matrices.(i))) !(clocks.(i))) then
+            ok := false;
+          (* no clairvoyance: row about j never exceeds j's real clock *)
+          for j = 0 to n - 1 do
+            if not (Ftvc.leq (Matrix.get !(matrices.(i)) ~about:j) !(clocks.(j)))
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+(* Knowledge relays transitively: after a -> b -> c, c's row about a
+   reflects a's clock at the first send. *)
+let test_transitive_knowledge () =
+  let n = 3 in
+  let ma = ref (Matrix.create ~n ~me:0)
+  and mb = ref (Matrix.create ~n ~me:1)
+  and mc = ref (Matrix.create ~n ~me:2) in
+  (* a steps a few times so its clock is distinctive *)
+  ma := Matrix.set_own !ma (Ftvc.sent (Ftvc.sent (Matrix.own !ma)));
+  let a_at_send = Matrix.own !ma in
+  let wire_a = !ma in
+  ma := Matrix.set_own !ma (Ftvc.sent (Matrix.own !ma));
+  mb := Matrix.deliver !mb ~received:wire_a;
+  let wire_b = !mb in
+  mb := Matrix.set_own !mb (Ftvc.sent (Matrix.own !mb));
+  mc := Matrix.deliver !mc ~received:wire_b;
+  (* c never talked to a, yet knows a's state at the send. *)
+  Alcotest.(check bool) "c knows a's send state" true
+    (Ftvc.leq a_at_send (Matrix.get !mc ~about:0))
+
+let test_set_own_immutable () =
+  let m = Matrix.create ~n:2 ~me:0 in
+  let m' = Matrix.set_own m (Ftvc.sent (Matrix.own m)) in
+  Alcotest.(check bool) "original untouched" true
+    (Ftvc.equal (Matrix.own m) (Ftvc.create ~n:2 ~me:0));
+  Alcotest.(check bool) "copy updated" false (Ftvc.equal (Matrix.own m') (Matrix.own m))
+
+let test_entries_roundtrip () =
+  let m = Matrix.create ~n:3 ~me:0 in
+  let m = Matrix.set_own m (Ftvc.sent (Matrix.own m)) in
+  let m' = Matrix.of_entries ~me:0 (Matrix.entries m) in
+  Alcotest.(check bool) "roundtrip" true
+    (Matrix.entries m = Matrix.entries m')
+
+(* join laws on the underlying clocks *)
+let prop_join_laws =
+  QCheck.Test.make ~name:"ftvc join is a lattice join" ~count:300
+    QCheck.(pair (int_bound 1000) (int_bound 1000))
+    (fun (s1, s2) ->
+      let mk seed =
+        let rng = Prng.create (Int64.of_int (seed + 7)) in
+        let c = ref (Ftvc.create ~n:3 ~me:0) in
+        for _ = 1 to Prng.int rng 6 do
+          c := Ftvc.sent !c
+        done;
+        !c
+      in
+      let a = mk s1 and b = mk s2 in
+      let j = Ftvc.join a b in
+      Ftvc.leq a j && Ftvc.leq b j
+      && Ftvc.equal (Ftvc.join a a) a
+      && Ftvc.equal (Ftvc.join a b) (Ftvc.join b a))
+
+let suite =
+  [
+    Alcotest.test_case "create" `Quick test_create;
+    Alcotest.test_case "size in words" `Quick test_size_words;
+    Alcotest.test_case "transitive knowledge" `Quick test_transitive_knowledge;
+    Alcotest.test_case "set_own is persistent" `Quick test_set_own_immutable;
+    Alcotest.test_case "entries roundtrip" `Quick test_entries_roundtrip;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_own_row_is_ftvc; prop_join_laws ]

@@ -1,0 +1,228 @@
+(* Tests of the simulated network: ordering modes, loss, traffic classes,
+   partitions, and crash gating. *)
+
+module Engine = Optimist_sim.Engine
+module Network = Optimist_net.Network
+
+let make ?(n = 3) ?(seed = 5L) ?(f = fun c -> c) () =
+  let engine = Engine.create ~seed () in
+  let cfg = f (Network.default_config ~n) in
+  let net = Network.create engine cfg in
+  (engine, net)
+
+let collect net id =
+  let inbox = ref [] in
+  Network.set_handler net id (fun env -> inbox := env.Network.payload :: !inbox);
+  fun () -> List.rev !inbox
+
+let test_basic_delivery () =
+  let engine, net = make () in
+  let recv = collect net 1 in
+  Network.set_handler net 0 (fun _ -> ());
+  Network.set_handler net 2 (fun _ -> ());
+  Network.send net ~src:0 ~dst:1 "hello";
+  Engine.run engine;
+  Alcotest.(check (list string)) "delivered" [ "hello" ] (recv ())
+
+let test_fifo_order () =
+  let engine, net =
+    make ~f:(fun c -> { c with Network.ordering = Network.Fifo }) ()
+  in
+  let recv = collect net 1 in
+  Network.set_handler net 0 (fun _ -> ());
+  Network.set_handler net 2 (fun _ -> ());
+  for i = 1 to 50 do
+    Network.send net ~src:0 ~dst:1 i
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "fifo preserved" (List.init 50 (fun i -> i + 1))
+    (recv ())
+
+let test_reorder_actually_reorders () =
+  (* With independent uniform latencies, fifty back-to-back sends on a
+     reordering network virtually never arrive in order. *)
+  let engine, net =
+    make ~f:(fun c -> { c with Network.ordering = Network.Reorder }) ()
+  in
+  let recv = collect net 1 in
+  Network.set_handler net 0 (fun _ -> ());
+  Network.set_handler net 2 (fun _ -> ());
+  for i = 1 to 50 do
+    Network.send net ~src:0 ~dst:1 i
+  done;
+  Engine.run engine;
+  let got = recv () in
+  Alcotest.(check int) "all arrived" 50 (List.length got);
+  Alcotest.(check bool) "not in order" true
+    (got <> List.init 50 (fun i -> i + 1))
+
+let test_drop_probability_one () =
+  let engine, net =
+    make ~f:(fun c -> { c with Network.drop_probability = 1.0 }) ()
+  in
+  let recv = collect net 1 in
+  Network.set_handler net 0 (fun _ -> ());
+  Network.set_handler net 2 (fun _ -> ());
+  Network.send net ~src:0 ~dst:1 "gone";
+  Network.send net ~src:0 ~dst:1 "also gone";
+  (* Control traffic is exempt from loss. *)
+  Network.send net ~traffic:Network.Control ~src:0 ~dst:1 "survives";
+  Engine.run engine;
+  Alcotest.(check (list string)) "only control survives" [ "survives" ] (recv ());
+  let stats = Network.stats net in
+  Alcotest.(check int) "drops counted" 2
+    (Optimist_util.Stats.Counters.get stats "dropped.data")
+
+let test_duplication () =
+  let engine, net =
+    make ~f:(fun c -> { c with Network.duplicate_probability = 1.0 }) ()
+  in
+  let recv = collect net 1 in
+  Network.set_handler net 0 (fun _ -> ());
+  Network.set_handler net 2 (fun _ -> ());
+  Network.send net ~src:0 ~dst:1 "twice";
+  Engine.run engine;
+  Alcotest.(check (list string)) "duplicated" [ "twice"; "twice" ] (recv ())
+
+let test_broadcast () =
+  let engine, net = make ~n:4 () in
+  let r1 = collect net 1 and r2 = collect net 2 and r3 = collect net 3 in
+  Network.set_handler net 0 (fun _ -> Alcotest.fail "src must not self-receive");
+  Network.broadcast net ~src:0 "b";
+  Engine.run engine;
+  Alcotest.(check (list string)) "p1" [ "b" ] (r1 ());
+  Alcotest.(check (list string)) "p2" [ "b" ] (r2 ());
+  Alcotest.(check (list string)) "p3" [ "b" ] (r3 ())
+
+let test_partition_and_heal () =
+  let engine, net = make ~n:4 () in
+  let r2 = collect net 2 in
+  Network.set_handler net 0 (fun _ -> ());
+  Network.set_handler net 1 (fun _ -> ());
+  Network.set_handler net 3 (fun _ -> ());
+  Network.partition net [ [ 0; 1 ]; [ 2; 3 ] ];
+  Alcotest.(check bool) "0-1 reachable" true (Network.reachable net 0 1);
+  Alcotest.(check bool) "0-2 blocked" false (Network.reachable net 0 2);
+  Network.send net ~src:0 ~dst:2 "data-across";
+  Network.send net ~traffic:Network.Control ~src:0 ~dst:2 "token-across";
+  Network.send net ~src:3 ~dst:2 "same-side";
+  Engine.run engine;
+  Alcotest.(check (list string)) "only same side" [ "same-side" ] (r2 ());
+  Network.heal net;
+  Engine.run engine;
+  Alcotest.(check (list string))
+    "held traffic released after heal"
+    [ "data-across"; "same-side"; "token-across" ]
+    (List.sort compare (r2 ()))
+
+let test_implicit_partition_group () =
+  let _, net = make ~n:4 () in
+  Network.partition net [ [ 0 ] ];
+  (* 1,2,3 form the implicit complement group. *)
+  Alcotest.(check bool) "1-2 reachable" true (Network.reachable net 1 2);
+  Alcotest.(check bool) "0-1 blocked" false (Network.reachable net 0 1)
+
+let test_down_endpoint_holds_control () =
+  let engine, net = make () in
+  let r1 = collect net 1 in
+  Network.set_handler net 0 (fun _ -> ());
+  Network.set_handler net 2 (fun _ -> ());
+  Network.set_down net 1;
+  Network.send net ~traffic:Network.Control ~src:0 ~dst:1 "token";
+  Network.send net ~src:0 ~dst:1 "data";
+  Engine.run engine;
+  Alcotest.(check (list string)) "nothing while down" [] (r1 ());
+  Network.set_up net ~drop_held_data:true 1;
+  Engine.run engine;
+  Alcotest.(check (list string)) "control survives, data dropped" [ "token" ]
+    (r1 ())
+
+let test_down_endpoint_keep_data () =
+  let engine, net = make () in
+  let r1 = collect net 1 in
+  Network.set_handler net 0 (fun _ -> ());
+  Network.set_handler net 2 (fun _ -> ());
+  Network.set_down net 1;
+  Network.send net ~src:0 ~dst:1 "data";
+  Engine.run engine;
+  Network.set_up net 1;
+  Engine.run engine;
+  Alcotest.(check (list string)) "data kept by default" [ "data" ] (r1 ())
+
+let test_loopback () =
+  let engine, net = make () in
+  let r0 = collect net 0 in
+  Network.send net ~src:0 ~dst:0 "self";
+  Engine.run engine;
+  Alcotest.(check (list string)) "loopback works" [ "self" ] (r0 ())
+
+let test_constant_latency () =
+  let engine, net =
+    make ~f:(fun c -> { c with Network.latency = Network.Constant 7.0 }) ()
+  in
+  let at = ref 0.0 in
+  Network.set_handler net 1 (fun _ -> at := Engine.now engine);
+  Network.send net ~src:0 ~dst:1 "x";
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "arrives at 7" 7.0 !at
+
+let test_control_latency_distinct () =
+  let engine, net =
+    make
+      ~f:(fun c ->
+        {
+          c with
+          Network.latency = Network.Constant 2.0;
+          control_latency = Some (Network.Constant 9.0);
+        })
+      ()
+  in
+  let arrivals = ref [] in
+  Network.set_handler net 1 (fun env ->
+      arrivals := (env.Network.payload, Engine.now engine) :: !arrivals);
+  Network.send net ~src:0 ~dst:1 "data";
+  Network.send net ~traffic:Network.Control ~src:0 ~dst:1 "token";
+  Engine.run engine;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "data fast, control slow"
+    [ ("data", 2.0); ("token", 9.0) ]
+    (List.rev !arrivals)
+
+let test_stats_counts () =
+  let engine, net = make () in
+  Network.set_handler net 1 (fun _ -> ());
+  for _ = 1 to 5 do
+    Network.send net ~src:0 ~dst:1 "m"
+  done;
+  Network.send net ~traffic:Network.Control ~src:0 ~dst:1 "c";
+  Engine.run engine;
+  let stats = Network.stats net in
+  let get = Optimist_util.Stats.Counters.get stats in
+  Alcotest.(check int) "sent.data" 5 (get "sent.data");
+  Alcotest.(check int) "sent.control" 1 (get "sent.control");
+  Alcotest.(check int) "delivered.data" 5 (get "delivered.data");
+  Alcotest.(check int) "delivered.control" 1 (get "delivered.control")
+
+let suite =
+  [
+    Alcotest.test_case "basic delivery" `Quick test_basic_delivery;
+    Alcotest.test_case "fifo ordering" `Quick test_fifo_order;
+    Alcotest.test_case "reordering network reorders" `Quick
+      test_reorder_actually_reorders;
+    Alcotest.test_case "data loss, control exempt" `Quick
+      test_drop_probability_one;
+    Alcotest.test_case "duplication" `Quick test_duplication;
+    Alcotest.test_case "broadcast" `Quick test_broadcast;
+    Alcotest.test_case "partition and heal" `Quick test_partition_and_heal;
+    Alcotest.test_case "implicit partition group" `Quick
+      test_implicit_partition_group;
+    Alcotest.test_case "down endpoint: control held" `Quick
+      test_down_endpoint_holds_control;
+    Alcotest.test_case "down endpoint: data kept by default" `Quick
+      test_down_endpoint_keep_data;
+    Alcotest.test_case "loopback" `Quick test_loopback;
+    Alcotest.test_case "constant latency" `Quick test_constant_latency;
+    Alcotest.test_case "distinct control-plane latency" `Quick
+      test_control_latency_distinct;
+    Alcotest.test_case "traffic statistics" `Quick test_stats_counts;
+  ]

@@ -1,0 +1,163 @@
+(* Unit tests of the oracle itself, on hand-driven traces: the checks must
+   fire on bad runs, stay silent on good ones, and classify states per the
+   paper's definitions. *)
+
+module Oracle = Optimist_oracle.Oracle
+module Ftvc = Optimist_clock.Ftvc
+module Types = Optimist_core.Types
+
+(* A tiny harness that mimics what two processes would report. Clocks are
+   maintained with the real FTVC rules so the oracle's clock-matching walk
+   works. *)
+type driver = {
+  oracle : Oracle.t;
+  tr : Types.tracer;
+  mutable clocks : Ftvc.t array;
+}
+
+let make n =
+  let oracle = Oracle.create ~n in
+  {
+    oracle;
+    tr = Oracle.tracer oracle;
+    clocks = Array.init n (fun me -> Ftvc.create ~n ~me);
+  }
+
+let step d ~pid =
+  d.clocks.(pid) <- Ftvc.internal d.clocks.(pid);
+  d.tr.Types.state_created ~pid ~clock:d.clocks.(pid) ~kind:Types.K_send
+
+let send d ~src ~uid =
+  d.tr.Types.message_sent ~src ~uid;
+  let clock = d.clocks.(src) in
+  d.clocks.(src) <- Ftvc.sent clock;
+  d.tr.Types.state_created ~pid:src ~clock:d.clocks.(src) ~kind:Types.K_send;
+  clock (* the clock carried by the message *)
+
+let deliver d ~dst ~uid ~msg_clock =
+  d.clocks.(dst) <- Ftvc.deliver d.clocks.(dst) ~received:msg_clock;
+  d.tr.Types.delivered ~pid:dst ~uid;
+  d.tr.Types.state_created ~pid:dst ~clock:d.clocks.(dst)
+    ~kind:(Types.K_deliver uid)
+
+let crash_back_to d ~pid ~clock =
+  d.tr.Types.failed ~pid;
+  d.tr.Types.restored ~pid ~clock ~failure:true;
+  d.clocks.(pid) <- Ftvc.restart clock;
+  d.tr.Types.state_created ~pid ~clock:d.clocks.(pid) ~kind:Types.K_restart
+
+let rollback_to d ~pid ~clock =
+  d.tr.Types.restored ~pid ~clock ~failure:false;
+  d.clocks.(pid) <- Ftvc.rolled_back clock;
+  d.tr.Types.state_created ~pid ~clock:d.clocks.(pid) ~kind:Types.K_rollback
+
+let checks_of d = List.map (fun v -> v.Oracle.check) (Oracle.check d.oracle)
+
+(* --- a clean failure-free run --- *)
+
+let test_clean_run () =
+  let d = make 2 in
+  let m = send d ~src:0 ~uid:1 in
+  deliver d ~dst:1 ~uid:1 ~msg_clock:m;
+  Alcotest.(check (list string)) "no violations" [] (checks_of d);
+  let live, lost, discarded = Oracle.status_counts d.oracle in
+  Alcotest.(check (triple int int int)) "counts" (4, 0, 0) (live, lost, discarded)
+
+(* --- an undetected orphan must be flagged --- *)
+
+let test_live_orphan_detected () =
+  let d = make 2 in
+  let init0 = d.clocks.(0) in
+  (* A local step first, so the send state is not the (indestructible)
+     initial state. *)
+  step d ~pid:0;
+  let m = send d ~src:0 ~uid:1 in
+  deliver d ~dst:1 ~uid:1 ~msg_clock:m;
+  (* P0 crashes back past the send; P1 never rolls back. *)
+  crash_back_to d ~pid:0 ~clock:init0;
+  let checks = checks_of d in
+  Alcotest.(check bool) "live orphan flagged" true
+    (List.mem "no-live-orphan" checks);
+  Alcotest.(check bool) "dead sender flagged" true
+    (List.mem "live-delivery-live-sender" checks)
+
+(* --- the orphan is cleared once the dependent rolls back --- *)
+
+let test_orphan_rolled_back_is_clean () =
+  let d = make 2 in
+  let init0 = d.clocks.(0) and init1 = d.clocks.(1) in
+  step d ~pid:0;
+  let m = send d ~src:0 ~uid:1 in
+  deliver d ~dst:1 ~uid:1 ~msg_clock:m;
+  crash_back_to d ~pid:0 ~clock:init0;
+  rollback_to d ~pid:1 ~clock:init1;
+  Alcotest.(check (list string)) "clean after rollback" [] (checks_of d);
+  let _, lost, discarded = Oracle.status_counts d.oracle in
+  (* the pre-send step and the post-send state *)
+  Alcotest.(check int) "lost states" 2 lost;
+  Alcotest.(check int) "discarded states" 1 discarded
+
+(* --- a rollback with no failure anywhere is needless --- *)
+
+let test_needless_rollback_detected () =
+  let d = make 2 in
+  let init1 = d.clocks.(1) in
+  let m = send d ~src:0 ~uid:1 in
+  deliver d ~dst:1 ~uid:1 ~msg_clock:m;
+  rollback_to d ~pid:1 ~clock:init1;
+  Alcotest.(check bool) "needless rollback flagged" true
+    (List.mem "no-needless-rollback" (checks_of d))
+
+(* --- rollback counting --- *)
+
+let test_rollback_counting () =
+  let d = make 2 in
+  let init1 = d.clocks.(1) in
+  let m = send d ~src:0 ~uid:1 in
+  deliver d ~dst:1 ~uid:1 ~msg_clock:m;
+  rollback_to d ~pid:1 ~clock:init1;
+  Alcotest.(check int) "P1 rollbacks" 1 (Oracle.rollbacks_of d.oracle 1);
+  Alcotest.(check int) "P0 rollbacks" 0 (Oracle.rollbacks_of d.oracle 0);
+  (* One rollback but zero failures: the bounded-rollbacks check fires. *)
+  Alcotest.(check bool) "bound violated" true
+    (List.mem "bounded-rollbacks" (checks_of d))
+
+(* --- theorem 1 auditing catches clock lies --- *)
+
+let test_theorem1_audit () =
+  let d = make 2 in
+  let m = send d ~src:0 ~uid:1 in
+  deliver d ~dst:1 ~uid:1 ~msg_clock:m;
+  Alcotest.(check (list string)) "true clocks pass" []
+    (List.map
+       (fun v -> v.Oracle.check)
+       (Oracle.check_theorem1 d.oracle ~sample:100 ~seed:1L));
+  (* Now report a state whose clock pretends to be concurrent with its own
+     causal past: the audit must object. *)
+  let bogus = Ftvc.create ~n:2 ~me:1 in
+  let bogus = Ftvc.with_own bogus { Ftvc.ver = 9; ts = 9 } in
+  d.tr.Types.state_created ~pid:1 ~clock:bogus ~kind:Types.K_send;
+  Alcotest.(check bool) "lying clock caught" true
+    (Oracle.check_theorem1 d.oracle ~sample:200 ~seed:1L <> [])
+
+(* --- failure accounting --- *)
+
+let test_failures_counted () =
+  let d = make 2 in
+  let init0 = d.clocks.(0) in
+  ignore (send d ~src:0 ~uid:1);
+  crash_back_to d ~pid:0 ~clock:init0;
+  Alcotest.(check int) "one failure" 1 (Oracle.failures d.oracle)
+
+let suite =
+  [
+    Alcotest.test_case "clean run" `Quick test_clean_run;
+    Alcotest.test_case "live orphan detected" `Quick test_live_orphan_detected;
+    Alcotest.test_case "rolled-back orphan is clean" `Quick
+      test_orphan_rolled_back_is_clean;
+    Alcotest.test_case "needless rollback detected" `Quick
+      test_needless_rollback_detected;
+    Alcotest.test_case "rollback counting" `Quick test_rollback_counting;
+    Alcotest.test_case "theorem 1 audit" `Quick test_theorem1_audit;
+    Alcotest.test_case "failures counted" `Quick test_failures_counted;
+  ]

@@ -1,0 +1,180 @@
+(* Tests of the Section 6.5 output-commit rule: "before committing an
+   output to the environment, a process must make sure that it will never
+   rollback the current state or lose it in a failure."
+
+   The application emits an output (a send to Types.output_dst) for every
+   delivered key; chains forward messages around a ring first when asked. *)
+
+module Network = Optimist_net.Network
+module Types = Optimist_core.Types
+module Process = Optimist_core.Process
+module System = Optimist_core.System
+
+type msg = { key : int; hops : int }
+
+(* Forward [hops] times around the ring, then emit the key as an output. *)
+let app ~n : (int, msg) Types.app =
+  {
+    Types.init = (fun _ -> 0);
+    on_message =
+      (fun ~me ~src:_ state m ->
+        let state' = state + 1 in
+        let sends =
+          if m.hops > 0 then [ ((me + 1) mod n, { m with hops = m.hops - 1 }) ]
+          else [ (Types.output_dst, m) ]
+        in
+        (state', sends));
+  }
+
+let make ?(commit = true) ?(flush_interval = 10_000.0) n =
+  let outputs = ref [] in
+  let on_output ~pid ~seq m = outputs := (pid, seq, m.key) :: !outputs in
+  let config =
+    {
+      Types.default_config with
+      Types.commit_outputs = commit;
+      flush_interval;
+      checkpoint_interval = 10_000.0;
+      restart_delay = 10.0;
+    }
+  in
+  let net_config =
+    { (Network.default_config ~n) with Network.latency = Network.Constant 5.0 }
+  in
+  let sys = System.create ~seed:8L ~net_config ~config ~on_output ~n ~app:(app ~n) () in
+  (sys, outputs)
+
+(* --- without the rule, outputs release immediately --- *)
+
+let test_optimistic_immediate () =
+  let sys, outputs = make ~commit:false 3 in
+  System.inject_at sys ~at:10.0 ~pid:0 { key = 42; hops = 0 };
+  System.run sys;
+  Alcotest.(check (list (triple int int int))) "released at once"
+    [ (0, 1, 42) ] !outputs
+
+(* --- with the rule, an output waits for its state to be logged --- *)
+
+let test_buffered_until_logged () =
+  let sys, outputs = make 3 in
+  System.inject_at sys ~at:10.0 ~pid:0 { key = 42; hops = 0 };
+  System.run sys;
+  Alcotest.(check (list (triple int int int))) "buffered" [] !outputs;
+  Alcotest.(check int) "pending" 1 (System.pending_outputs sys);
+  System.settle_outputs sys;
+  Alcotest.(check (list (triple int int int))) "released after flush"
+    [ (0, 1, 42) ] !outputs;
+  Alcotest.(check int) "drained" 0 (System.pending_outputs sys)
+
+(* --- an output also waits for its *dependencies* to be logged --- *)
+
+let test_waits_for_remote_dependency () =
+  let sys, outputs = make 3 in
+  (* One hop: P0 delivers (unflushed), forwards; P1 outputs. P1's output
+     depends on P0's unlogged state, so flushing P1 alone is not enough. *)
+  System.inject_at sys ~at:10.0 ~pid:0 { key = 7; hops = 1 };
+  System.run sys;
+  let p1 = System.process sys 1 in
+  Process.flush_now p1;
+  Process.share_frontier p1;
+  System.run sys;
+  Alcotest.(check (list (triple int int int))) "still waiting on P0" [] !outputs;
+  (* Now P0 flushes and gossips: the dependency is safe. *)
+  let p0 = System.process sys 0 in
+  Process.flush_now p0;
+  Process.share_frontier p0;
+  System.run sys;
+  Alcotest.(check (list (triple int int int))) "released" [ (1, 1, 7) ] !outputs
+
+(* --- the payoff: outputs from states that a crash destroys are never
+   released under the rule, but escape without it --- *)
+
+let crash_scenario ~commit =
+  let sys, outputs = make ~commit 3 in
+  (* P0 delivers and outputs at t=10 with nothing flushed; crashes at
+     t=12. The delivery is lost: the output's state never existed as far
+     as recovery is concerned. *)
+  System.inject_at sys ~at:10.0 ~pid:0 { key = 99; hops = 0 };
+  System.fail_at sys ~at:12.0 ~pid:0;
+  System.run sys;
+  System.settle_outputs sys;
+  !outputs
+
+let test_lost_state_output_suppressed () =
+  Alcotest.(check (list (triple int int int)))
+    "commit rule holds it back" [] (crash_scenario ~commit:true);
+  Alcotest.(check (list (triple int int int)))
+    "optimistic release leaks it"
+    [ (0, 1, 99) ]
+    (crash_scenario ~commit:false)
+
+(* --- outputs from orphan states are dropped by the rollback --- *)
+
+let test_orphan_output_dropped () =
+  let sys, outputs = make 3 in
+  (* P0's delivery (unflushed) forwards to P1, which outputs; P0 then
+     crashes, making P1's state an orphan. P1 rolls back; the buffered
+     output must die with the orphan. *)
+  System.inject_at sys ~at:10.0 ~pid:0 { key = 13; hops = 1 };
+  System.fail_at sys ~at:17.0 ~pid:0;
+  System.run sys;
+  System.settle_outputs sys;
+  Alcotest.(check (list (triple int int int))) "no orphan output" [] !outputs;
+  Alcotest.(check int) "nothing pending" 0 (System.pending_outputs sys);
+  Alcotest.(check bool) "P1 did roll back" true
+    (System.total sys "rollbacks" >= 1)
+
+(* --- outputs of surviving states are released exactly once, in order --- *)
+
+let test_ordered_exactly_once () =
+  let sys, outputs = make ~flush_interval:20.0 3 in
+  for k = 1 to 10 do
+    System.inject_at sys ~at:(10.0 *. float_of_int k) ~pid:0 { key = k; hops = 0 }
+  done;
+  (* A mid-run crash of P1 (uninvolved) and one of P0 after a flush. *)
+  System.fail_at sys ~at:55.0 ~pid:1;
+  System.run sys;
+  System.settle_outputs sys;
+  let p0_outputs =
+    List.rev !outputs
+    |> List.filter (fun (pid, _, _) -> pid = 0)
+    |> List.map (fun (_, seq, key) -> (seq, key))
+  in
+  (* Sequence numbers strictly increase: released in order, no duplicates. *)
+  let rec increasing = function
+    | (s1, _) :: ((s2, _) :: _ as rest) -> s1 < s2 && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "in order" true (increasing p0_outputs);
+  Alcotest.(check bool) "most keys released" true (List.length p0_outputs >= 8)
+
+(* --- replay must not re-release committed outputs --- *)
+
+let test_replay_no_double_release () =
+  let sys, outputs = make ~flush_interval:5.0 3 in
+  System.inject_at sys ~at:10.0 ~pid:0 { key = 1; hops = 0 };
+  System.run sys;
+  System.settle_outputs sys;
+  Alcotest.(check int) "one release" 1 (List.length !outputs);
+  (* Crash after the flush: restart replays the delivery and regenerates
+     the output, which is already committed. *)
+  System.fail_at sys ~at:100.0 ~pid:0;
+  System.run sys;
+  System.settle_outputs sys;
+  Alcotest.(check int) "still one release" 1 (List.length !outputs)
+
+let suite =
+  [
+    Alcotest.test_case "optimistic release is immediate" `Quick
+      test_optimistic_immediate;
+    Alcotest.test_case "buffered until locally logged" `Quick
+      test_buffered_until_logged;
+    Alcotest.test_case "waits for remote dependencies" `Quick
+      test_waits_for_remote_dependency;
+    Alcotest.test_case "lost-state output suppressed" `Quick
+      test_lost_state_output_suppressed;
+    Alcotest.test_case "orphan output dropped" `Quick test_orphan_output_dropped;
+    Alcotest.test_case "ordered, exactly once" `Quick test_ordered_exactly_once;
+    Alcotest.test_case "replay does not re-release" `Quick
+      test_replay_no_double_release;
+  ]

@@ -1,0 +1,134 @@
+(* Tests of the Section 6.5 remark-1 extension: send-history retransmission
+   of messages whose delivery a crash wiped out.
+
+   The application accumulates a commutative sum of keys, so replicas can
+   be compared regardless of delivery order. The scenario plants a message
+   chain P0 -> P1 -> P2 where P1's delivery is still unflushed when P1
+   crashes: without retransmission the key is lost at P1 and P2 (P2's
+   delivery is an orphan and rolls back); with it, P0 resends and the whole
+   chain completes. *)
+
+module Network = Optimist_net.Network
+module Types = Optimist_core.Types
+module Process = Optimist_core.Process
+module System = Optimist_core.System
+module Oracle = Optimist_oracle.Oracle
+
+type msg = { key : int; hops : int }
+
+let ring_app ~n : (int, msg) Types.app =
+  {
+    Types.init = (fun _ -> 0);
+    on_message =
+      (fun ~me ~src:_ state m ->
+        let state' = state + m.key in
+        let sends =
+          if m.hops > 0 then [ ((me + 1) mod n, { m with hops = m.hops - 1 }) ]
+          else []
+        in
+        (state', sends));
+  }
+
+let run ~retransmit =
+  let n = 3 in
+  let oracle = Oracle.create ~n in
+  let config =
+    {
+      Types.default_config with
+      Types.retransmit_lost = retransmit;
+      (* Keep the delivery volatile at crash time. *)
+      flush_interval = 10_000.0;
+      checkpoint_interval = 10_000.0;
+      restart_delay = 10.0;
+    }
+  in
+  let net_config =
+    { (Network.default_config ~n) with Network.latency = Network.Constant 5.0 }
+  in
+  let sys =
+    System.create ~seed:3L ~net_config ~config ~tracer:(Oracle.tracer oracle) ~n
+      ~app:(ring_app ~n) ()
+  in
+  (* t=10: inject key 100 at P0, chain of 2 hops: P0 (t=10), P1 (t=15),
+     P2 (t=20). t=17: P1 crashes with its delivery unflushed. *)
+  System.inject_at sys ~at:10.0 ~pid:0 { key = 100; hops = 2 };
+  System.fail_at sys ~at:17.0 ~pid:1;
+  System.run sys;
+  (sys, oracle)
+
+let sums sys =
+  Array.to_list (Array.map Process.state (System.processes sys))
+
+let test_without_retransmission () =
+  let sys, oracle = run ~retransmit:false in
+  (* P0 keeps the key; P1 lost the delivery; P2's delivery was rolled back
+     as an orphan and the message is gone forever. *)
+  Alcotest.(check (list int)) "key lost downstream" [ 100; 0; 0 ] (sums sys);
+  Alcotest.(check string) "still consistent" ""
+    (String.concat ";"
+       (List.map (fun v -> v.Oracle.check) (Oracle.check oracle)))
+
+let test_with_retransmission () =
+  let sys, oracle = run ~retransmit:true in
+  Alcotest.(check (list int)) "chain completed everywhere" [ 100; 100; 100 ]
+    (sums sys);
+  Alcotest.(check bool) "a resend happened" true
+    (System.total sys "retransmitted" > 0);
+  Alcotest.(check string) "consistent" ""
+    (String.concat ";"
+       (List.map (fun v -> v.Oracle.check) (Oracle.check oracle)))
+
+(* Duplicate suppression: the resend must not double-apply when the
+   original delivery survived (flushed before the crash). *)
+let test_no_double_apply () =
+  let n = 3 in
+  let config =
+    {
+      Types.default_config with
+      Types.retransmit_lost = true;
+      flush_interval = 1.0;
+      (* flushed promptly: nothing is lost *)
+      checkpoint_interval = 10_000.0;
+      restart_delay = 10.0;
+    }
+  in
+  let net_config =
+    { (Network.default_config ~n) with Network.latency = Network.Constant 5.0 }
+  in
+  let sys =
+    System.create ~seed:3L ~net_config ~config ~n ~app:(ring_app ~n) ()
+  in
+  System.inject_at sys ~at:10.0 ~pid:0 { key = 7; hops = 2 };
+  (* Crash long after the flush: the delivery survives, yet P0 may still
+     resend (it cannot know); the uid filter must drop the duplicate. *)
+  System.fail_at sys ~at:40.0 ~pid:1;
+  System.run sys;
+  Alcotest.(check (list int)) "no double count" [ 7; 7; 7 ] (sums sys)
+
+(* Network-level duplication is absorbed by the same uid filter. *)
+let test_network_duplicates_filtered () =
+  let n = 3 in
+  let net_config =
+    {
+      (Network.default_config ~n) with
+      Network.duplicate_probability = 1.0;
+      latency = Network.Constant 5.0;
+    }
+  in
+  let sys = System.create ~seed:5L ~net_config ~n ~app:(ring_app ~n) () in
+  System.inject_at sys ~at:10.0 ~pid:0 { key = 3; hops = 2 };
+  System.run sys;
+  Alcotest.(check (list int)) "each applied once" [ 3; 3; 3 ] (sums sys);
+  Alcotest.(check bool) "duplicates were dropped" true
+    (System.total sys "duplicates_dropped" > 0)
+
+let suite =
+  [
+    Alcotest.test_case "lost message without retransmission" `Quick
+      test_without_retransmission;
+    Alcotest.test_case "lost message recovered with retransmission" `Quick
+      test_with_retransmission;
+    Alcotest.test_case "resend does not double-apply" `Quick test_no_double_apply;
+    Alcotest.test_case "network duplicates filtered" `Quick
+      test_network_duplicates_filtered;
+  ]

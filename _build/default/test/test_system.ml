@@ -1,0 +1,106 @@
+(* Tests of the System convenience layer and the timeline renderer. *)
+
+module Engine = Optimist_sim.Engine
+module Types = Optimist_core.Types
+module Process = Optimist_core.Process
+module System = Optimist_core.System
+module Oracle = Optimist_oracle.Oracle
+module Timeline = Optimist_oracle.Timeline
+module Traffic = Optimist_workload.Traffic
+
+let make ?tracer ?(n = 3) () =
+  System.create ~seed:33L ?tracer ~n ~app:(Traffic.app ~n Traffic.Ring) ()
+
+let test_accessors () =
+  let sys = make () in
+  Alcotest.(check int) "n" 3 (System.n sys);
+  Alcotest.(check int) "process ids" 1 (Process.id (System.process sys 1));
+  Alcotest.(check int) "array length" 3 (Array.length (System.processes sys));
+  Alcotest.(check bool) "initially alive" true (System.all_alive sys)
+
+let test_down_during_restart_delay () =
+  let sys = make () in
+  System.fail_at sys ~at:10.0 ~pid:1;
+  System.run ~until:15.0 sys;
+  Alcotest.(check bool) "down mid-recovery" false (System.all_alive sys);
+  Alcotest.(check bool) "process reports dead" false
+    (Process.alive (System.process sys 1));
+  System.run sys;
+  Alcotest.(check bool) "back up" true (System.all_alive sys)
+
+let test_counter_totals () =
+  let sys = make () in
+  System.inject_at sys ~at:5.0 ~pid:0 (Traffic.fresh ~key:1 ~hops:4);
+  System.run sys;
+  (* 4 forwards delivered + the injection counted separately. *)
+  Alcotest.(check int) "delivered" 4 (System.total sys "delivered");
+  Alcotest.(check int) "injected" 1 (System.total sys "injected");
+  Alcotest.(check int) "sent" 4 (System.total sys "sent");
+  let dumps = System.counters sys in
+  Alcotest.(check int) "one dump per process" 3 (List.length dumps)
+
+let test_virtual_time_advances () =
+  let sys = make () in
+  System.inject_at sys ~at:50.0 ~pid:0 (Traffic.fresh ~key:1 ~hops:0);
+  System.run sys;
+  Alcotest.(check bool) "time reached the event" true
+    (Engine.now (System.engine sys) >= 50.0)
+
+let test_settle_outputs_noop () =
+  let sys = make () in
+  System.inject_at sys ~at:5.0 ~pid:0 (Traffic.fresh ~key:1 ~hops:2);
+  System.run sys;
+  (* Without commit_outputs there is nothing pending and settling is a
+     harmless no-op. *)
+  System.settle_outputs sys;
+  Alcotest.(check int) "no pending outputs" 0 (System.pending_outputs sys)
+
+let test_timeline_renders () =
+  let oracle = Oracle.create ~n:3 in
+  let sys = make ~tracer:(Oracle.tracer oracle) () in
+  System.inject_at sys ~at:5.0 ~pid:0 (Traffic.fresh ~key:1 ~hops:3);
+  System.fail_at sys ~at:20.0 ~pid:1;
+  System.run sys;
+  let s = Timeline.render oracle in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 1 = "#");
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec loop i = i + nl <= sl && (String.sub s i nl = needle || loop (i + 1)) in
+    loop 0
+  in
+  Alcotest.(check bool) "shows deliveries" true (contains "recv<-");
+  Alcotest.(check bool) "shows the restart" true (contains "RESTART");
+  Alcotest.(check bool) "marks lost states or none were lost" true
+    (contains "+lost" || System.total sys "log_truncated" = 0)
+
+let test_timeline_elision () =
+  let oracle = Oracle.create ~n:2 in
+  let sys =
+    System.create ~seed:3L ~tracer:(Oracle.tracer oracle) ~n:2
+      ~app:(Traffic.app ~n:2 Traffic.Ring) ()
+  in
+  for k = 1 to 100 do
+    System.inject_at sys ~at:(float_of_int k) ~pid:0 (Traffic.fresh ~key:k ~hops:1)
+  done;
+  System.run sys;
+  let s = Timeline.render ~max_rows:10 oracle in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "bounded output" true (List.length lines <= 13);
+  Alcotest.(check bool) "elision marker" true
+    (List.exists
+       (fun l -> String.length l > 5 && String.sub l 0 4 = "(...")
+       lines)
+
+let suite =
+  [
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "down during restart delay" `Quick
+      test_down_during_restart_delay;
+    Alcotest.test_case "counter totals" `Quick test_counter_totals;
+    Alcotest.test_case "virtual time advances" `Quick test_virtual_time_advances;
+    Alcotest.test_case "settle outputs is safe when disabled" `Quick
+      test_settle_outputs_noop;
+    Alcotest.test_case "timeline renders" `Quick test_timeline_renders;
+    Alcotest.test_case "timeline elision" `Quick test_timeline_elision;
+  ]

@@ -1,0 +1,70 @@
+(* Tests of the classic Mattern vector clock. *)
+
+module Vclock = Optimist_clock.Vclock
+
+let test_create () =
+  let c = Vclock.create ~n:3 ~me:1 in
+  Alcotest.(check (list int)) "init" [ 0; 1; 0 ] (Vclock.to_list c)
+
+let test_tick () =
+  let c = Vclock.create ~n:3 ~me:0 in
+  let c = Vclock.tick c ~me:0 in
+  Alcotest.(check (list int)) "ticked" [ 2; 0; 0 ] (Vclock.to_list c)
+
+let test_merge () =
+  let a = Vclock.of_list [ 3; 1; 0 ] and b = Vclock.of_list [ 1; 4; 2 ] in
+  let m = Vclock.merge a ~me:0 b in
+  Alcotest.(check (list int)) "componentwise max + own tick" [ 4; 4; 2 ]
+    (Vclock.to_list m)
+
+let test_orders () =
+  let a = Vclock.of_list [ 1; 2; 3 ]
+  and b = Vclock.of_list [ 2; 2; 4 ]
+  and c = Vclock.of_list [ 3; 1; 0 ] in
+  Alcotest.(check bool) "a < b" true (Vclock.lt a b);
+  Alcotest.(check bool) "not b < a" false (Vclock.lt b a);
+  Alcotest.(check bool) "a || c concurrent" true (Vclock.concurrent a c);
+  Alcotest.(check bool) "a <= a" true (Vclock.leq a a);
+  Alcotest.(check bool) "not a < a" false (Vclock.lt a a)
+
+let clock_gen n =
+  QCheck.Gen.(list_repeat n (0 -- 20) >|= Vclock.of_list)
+
+let arb n = QCheck.make ~print:(fun c -> Format.asprintf "%a" Vclock.pp c) (clock_gen n)
+
+let prop_leq_partial_order =
+  QCheck.Test.make ~name:"leq is a partial order" ~count:500
+    QCheck.(triple (arb 4) (arb 4) (arb 4))
+    (fun (a, b, c) ->
+      Vclock.leq a a
+      && ((not (Vclock.leq a b && Vclock.leq b a)) || Vclock.equal a b)
+      && ((not (Vclock.leq a b && Vclock.leq b c)) || Vclock.leq a c))
+
+let prop_merge_upper_bound =
+  QCheck.Test.make ~name:"merge dominates both inputs" ~count:500
+    QCheck.(pair (arb 4) (arb 4))
+    (fun (a, b) ->
+      let m = Vclock.merge a ~me:0 b in
+      let n = Vclock.size a in
+      let rec ok i =
+        i >= n
+        || (Vclock.get m i >= Vclock.get a i
+            && Vclock.get m i >= Vclock.get b i
+            && ok (i + 1))
+      in
+      ok 0 && Vclock.get m 0 > max (Vclock.get a 0) (Vclock.get b 0))
+
+let prop_concurrent_symmetric =
+  QCheck.Test.make ~name:"concurrency is symmetric" ~count:500
+    QCheck.(pair (arb 3) (arb 3))
+    (fun (a, b) -> Vclock.concurrent a b = Vclock.concurrent b a)
+
+let suite =
+  [
+    Alcotest.test_case "create" `Quick test_create;
+    Alcotest.test_case "tick" `Quick test_tick;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "orders" `Quick test_orders;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_leq_partial_order; prop_merge_upper_bound; prop_concurrent_symmetric ]

@@ -1,0 +1,164 @@
+(* Tests of the workload generators: routing validity, determinism (the
+   property replay correctness rests on), and schedule generation. *)
+
+module Traffic = Optimist_workload.Traffic
+module Schedule = Optimist_workload.Schedule
+module Types = Optimist_core.Types
+
+(* --- applications are deterministic: same state+message, same result --- *)
+
+let prop_app_deterministic =
+  QCheck.Test.make ~name:"handler is a pure function" ~count:300
+    QCheck.(quad (int_bound 3) (int_bound 5) small_int (int_bound 5))
+    (fun (pattern_ix, me, key, hops) ->
+      let n = 6 in
+      let pattern =
+        [| Traffic.Uniform; Traffic.Ring; Traffic.Pipeline; Traffic.Client_server 2 |].(pattern_ix)
+      in
+      let app = Traffic.app ~n pattern in
+      let state = { Traffic.count = key mod 7; acc = key * 3 } in
+      let m = Traffic.fresh ~key ~hops in
+      let r1 = app.Types.on_message ~me ~src:0 state m in
+      let r2 = app.Types.on_message ~me ~src:0 state m in
+      r1 = r2)
+
+(* --- routing stays in range and respects the pattern --- *)
+
+let prop_routing_valid =
+  QCheck.Test.make ~name:"sends target valid processes" ~count:500
+    QCheck.(triple (int_bound 3) (int_bound 5) small_int)
+    (fun (pattern_ix, me, key) ->
+      let n = 6 in
+      let pattern =
+        [| Traffic.Uniform; Traffic.Ring; Traffic.Pipeline; Traffic.Client_server 2 |].(pattern_ix)
+      in
+      let app = Traffic.app ~n pattern in
+      let state = { Traffic.count = 0; acc = 0 } in
+      let _, sends =
+        app.Types.on_message ~me ~src:1 state (Traffic.fresh ~key ~hops:3)
+      in
+      List.for_all
+        (fun (dst, _) ->
+          dst >= 0 && dst < n
+          &&
+          match pattern with
+          | Traffic.Ring -> dst = (me + 1) mod n
+          | Traffic.Pipeline -> dst = me + 1
+          | Traffic.Uniform -> dst <> me
+          | Traffic.Client_server k -> if me < k then dst = 1 else dst < k)
+        sends)
+
+let test_hops_exhaust () =
+  let app = Traffic.app ~n:3 Traffic.Ring in
+  let state = { Traffic.count = 0; acc = 0 } in
+  let _, sends =
+    app.Types.on_message ~me:0 ~src:Types.env_src state (Traffic.fresh ~key:1 ~hops:0)
+  in
+  Alcotest.(check int) "no forward at zero hops" 0 (List.length sends)
+
+let test_pipeline_terminates () =
+  let n = 3 in
+  let app = Traffic.app ~n Traffic.Pipeline in
+  let state = { Traffic.count = 0; acc = 0 } in
+  let _, sends =
+    app.Types.on_message ~me:(n - 1) ~src:0 state (Traffic.fresh ~key:1 ~hops:5)
+  in
+  Alcotest.(check int) "last stage stops" 0 (List.length sends)
+
+let test_digest_order_sensitive () =
+  let app = Traffic.app ~n:3 Traffic.Uniform in
+  let s0 = { Traffic.count = 0; acc = 0 } in
+  let m1 = Traffic.fresh ~key:1 ~hops:0 and m2 = Traffic.fresh ~key:2 ~hops:0 in
+  let apply s m = fst (app.Types.on_message ~me:0 ~src:1 s m) in
+  let a = apply (apply s0 m1) m2 and b = apply (apply s0 m2) m1 in
+  Alcotest.(check bool) "digest distinguishes orders" true
+    (Traffic.digest a <> Traffic.digest b)
+
+(* --- schedules --- *)
+
+let test_poisson_deterministic () =
+  let gen () =
+    Schedule.poisson_injections ~seed:5L ~n:4 ~rate:0.1 ~duration:200.0 ~hops:3
+  in
+  Alcotest.(check bool) "same seed, same schedule" true (gen () = gen ())
+
+let test_poisson_rate () =
+  let inj =
+    Schedule.poisson_injections ~seed:5L ~n:4 ~rate:0.1 ~duration:10_000.0
+      ~hops:3
+  in
+  (* Expect ~ n * rate * duration = 4000 arrivals; allow 10%. *)
+  let count = List.length inj in
+  if count < 3600 || count > 4400 then
+    Alcotest.failf "poisson count off: %d" count;
+  Alcotest.(check bool) "sorted by time" true
+    (let rec sorted = function
+       | a :: (b :: _ as rest) -> a.Schedule.at <= b.Schedule.at && sorted rest
+       | _ -> true
+     in
+     sorted inj)
+
+let test_poisson_zero_rate () =
+  Alcotest.(check int) "no arrivals" 0
+    (List.length
+       (Schedule.poisson_injections ~seed:5L ~n:4 ~rate:0.0 ~duration:100.0
+          ~hops:3))
+
+let test_random_crashes_in_window () =
+  let faults =
+    Schedule.random_crashes ~seed:9L ~n:5 ~failures:20 ~window:(50.0, 150.0)
+  in
+  Alcotest.(check int) "count" 20 (List.length faults);
+  List.iter
+    (fun f ->
+      match f with
+      | Schedule.Crash { at; pid } ->
+          if at < 50.0 || at > 150.0 then Alcotest.failf "time out of window";
+          if pid < 0 || pid >= 5 then Alcotest.failf "pid out of range"
+      | _ -> Alcotest.fail "expected crash")
+    faults
+
+let test_simultaneous () =
+  match Schedule.simultaneous_crashes ~at:42.0 ~pids:[ 1; 3 ] with
+  | [ Schedule.Crash { at = 42.0; pid = 1 }; Schedule.Crash { at = 42.0; pid = 3 } ]
+    ->
+      ()
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_apply_dispatch () =
+  let schedule =
+    Schedule.make
+      ~injections:[ { Schedule.at = 1.0; pid = 2; key = 9; hops = 3 } ]
+      ~faults:
+        [
+          Schedule.Crash { at = 2.0; pid = 1 };
+          Schedule.Partition { at = 3.0; groups = [ [ 0 ] ] };
+          Schedule.Heal { at = 4.0 };
+        ]
+  in
+  let log = ref [] in
+  Schedule.apply schedule
+    ~inject:(fun ~at ~pid m ->
+      log := Printf.sprintf "inject %.0f %d %d" at pid m.Traffic.key :: !log)
+    ~crash:(fun ~at ~pid -> log := Printf.sprintf "crash %.0f %d" at pid :: !log)
+    ~partition:(fun ~at ~groups:_ -> log := Printf.sprintf "part %.0f" at :: !log)
+    ~heal:(fun ~at -> log := Printf.sprintf "heal %.0f" at :: !log);
+  Alcotest.(check (list string)) "all dispatched"
+    [ "inject 1 2 9"; "crash 2 1"; "part 3"; "heal 4" ]
+    (List.rev !log)
+
+let suite =
+  [
+    Alcotest.test_case "hops exhaust" `Quick test_hops_exhaust;
+    Alcotest.test_case "pipeline terminates" `Quick test_pipeline_terminates;
+    Alcotest.test_case "digest is order sensitive" `Quick
+      test_digest_order_sensitive;
+    Alcotest.test_case "poisson deterministic" `Quick test_poisson_deterministic;
+    Alcotest.test_case "poisson rate" `Slow test_poisson_rate;
+    Alcotest.test_case "poisson zero rate" `Quick test_poisson_zero_rate;
+    Alcotest.test_case "random crashes in window" `Quick
+      test_random_crashes_in_window;
+    Alcotest.test_case "simultaneous crashes" `Quick test_simultaneous;
+    Alcotest.test_case "schedule dispatch" `Quick test_apply_dispatch;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_app_deterministic; prop_routing_valid ]
