@@ -6,10 +6,15 @@
        --failures 3 --oracle
      dune exec bin/recsim.exe -- run --protocol checkpoint-only -n 8 \
        --failures 2 --rate 0.1
+     dune exec bin/recsim.exe -- run --failures 2 --trace out.jsonl
+     dune exec bin/recsim.exe -- run --failures 2 --trace out.json \
+       --trace-format chrome   # load in Perfetto / about://tracing
+     dune exec bin/recsim.exe -- trace out.jsonl --pid 1 --kind rollback
      dune exec bin/recsim.exe -- compare -n 6 --failures 3
      dune exec bin/recsim.exe -- list *)
 
 module Runner = Optimist_runner.Runner
+module Trace = Optimist_obs.Trace
 module Schedule = Optimist_workload.Schedule
 module Traffic = Optimist_workload.Traffic
 module Network = Optimist_net.Network
@@ -105,8 +110,8 @@ let pattern_arg =
     & info [ "pattern" ] ~docv:"PATTERN"
         ~doc:"Workload: uniform, ring, pipeline, client-server:<servers>.")
 
-let make_params protocol n seed rate duration hops failures fifo oracle pattern
-    =
+let make_params ?(trace = Trace.null) protocol n seed rate duration hops
+    failures fifo oracle pattern =
   let faults =
     if failures = 0 then []
     else
@@ -126,9 +131,53 @@ let make_params protocol n seed rate duration hops failures fifo oracle pattern
     faults;
     ordering = (if fifo then Network.Fifo else Network.Reorder);
     with_oracle = oracle;
+    trace;
   }
 
+(* Build a recorder writing to [path] (if given), run [f] with it, and
+   finalize the file even on failure: the chrome format is only valid
+   JSON once the sink is closed. *)
+let with_recorder path format f =
+  match path with
+  | None -> f Trace.null
+  | Some path ->
+      let oc =
+        try open_out path
+        with Sys_error msg ->
+          Printf.eprintf "recsim: cannot open trace file: %s\n" msg;
+          exit 2
+      in
+      let sink =
+        match format with
+        | `Jsonl -> Trace.jsonl_sink (output_string oc)
+        | `Chrome -> Trace.chrome_sink (output_string oc)
+      in
+      let tr = Trace.create () in
+      Trace.attach tr sink;
+      Fun.protect
+        ~finally:(fun () ->
+          Trace.close tr;
+          close_out oc)
+        (fun () -> f tr)
+
 (* --- run --- *)
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a structured event trace of the run to $(docv).")
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+    & info [ "trace-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Trace encoding: $(b,jsonl) (one event per line, replayable with \
+           `recsim trace') or $(b,chrome) (trace_event JSON, loadable in \
+           Perfetto / about://tracing).")
 
 let run_cmd =
   let protocol_arg =
@@ -137,12 +186,14 @@ let run_cmd =
       & opt protocol_conv Runner.Damani_garg
       & info [ "protocol"; "p" ] ~docv:"PROTOCOL" ~doc:"Protocol to run.")
   in
-  let action protocol n seed rate duration hops failures fifo oracle pattern =
-    let params =
-      make_params protocol n seed rate duration hops failures fifo oracle
-        pattern
+  let action protocol n seed rate duration hops failures fifo oracle pattern
+      trace_file trace_format =
+    let report =
+      with_recorder trace_file trace_format (fun trace ->
+          Runner.run
+            (make_params ~trace protocol n seed rate duration hops failures
+               fifo oracle pattern))
     in
-    let report = Runner.run params in
     Format.printf "%a@." Runner.pp_report report;
     if report.Runner.r_violations <> [] then exit 1
   in
@@ -150,7 +201,62 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one protocol and print its metrics.")
     Term.(
       const action $ protocol_arg $ n_arg $ seed_arg $ rate_arg $ duration_arg
-      $ hops_arg $ failures_arg $ fifo_arg $ oracle_arg $ pattern_arg)
+      $ hops_arg $ failures_arg $ fifo_arg $ oracle_arg $ pattern_arg
+      $ trace_file_arg $ trace_format_arg)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace written by `recsim run --trace'.")
+  in
+  let pid_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pid" ] ~docv:"PID" ~doc:"Only events at this process.")
+  in
+  let kind_arg =
+    let kind_conv = Arg.enum (List.map (fun k -> (k, k)) Trace.kind_names) in
+    Arg.(
+      value
+      & opt (some kind_conv) None
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"Only events of this kind (e.g. rollback, drop_obsolete).")
+  in
+  let action file pid kind =
+    let ic = open_in file in
+    let errors = ref 0 in
+    (try
+       let lineno = ref 0 in
+       while true do
+         let line = input_line ic in
+         incr lineno;
+         if String.trim line <> "" then
+           match Trace.of_line line with
+           | Error msg ->
+               incr errors;
+               Printf.eprintf "%s:%d: %s\n" file !lineno msg
+           | Ok e ->
+               let keep =
+                 (match pid with Some p -> e.Trace.pid = p | None -> true)
+                 && match kind with
+                    | Some k -> Trace.kind_name e.Trace.kind = k
+                    | None -> true
+               in
+               if keep then Format.printf "%a@." Trace.pp_event e
+       done
+     with End_of_file -> ());
+    close_in ic;
+    if !errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Pretty-print a JSONL trace, optionally filtered.")
+    Term.(const action $ file_arg $ pid_arg $ kind_arg)
 
 (* --- compare --- *)
 
@@ -225,4 +331,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "recsim" ~doc) [ run_cmd; compare_cmd; list_cmd ]))
+       (Cmd.group (Cmd.info "recsim" ~doc)
+          [ run_cmd; trace_cmd; compare_cmd; list_cmd ]))

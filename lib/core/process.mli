@@ -18,6 +18,7 @@ module Engine = Optimist_sim.Engine
 module Network = Optimist_net.Network
 module Ftvc = Optimist_clock.Ftvc
 module History = Optimist_history.History
+module Metrics = Optimist_obs.Metrics
 
 type ('s, 'm) t
 
@@ -29,12 +30,19 @@ val create :
   n:int ->
   ?config:Types.config ->
   ?tracer:Types.tracer ->
+  ?metrics:Metrics.Scope.t ->
   ?on_output:(pid:int -> seq:int -> 'm -> unit) ->
   next_uid:(unit -> int) ->
   unit ->
   ('s, 'm) t
 (** Creates the process, installs its network handler, records the initial
     checkpoint, and starts the periodic flush/checkpoint timers.
+
+    [metrics] is the scope protocol counters and distributions land in;
+    defaults to a fresh unregistered scope labelled
+    [("damani-garg", id)]. Structured trace events go to the recorder
+    installed on [engine] (see [Engine.set_tracer]); with no recorder the
+    instrumentation costs one boolean check per site.
 
     [on_output] receives application outputs (handler sends addressed to
     {!Types.output_dst}). With [config.commit_outputs] they are delivered
@@ -96,11 +104,15 @@ val log_length : ('s, 'm) t -> int
 (** Stable + volatile entries currently retained (above the GC floor the
     numbering is unaffected). *)
 
-val counters : ('s, 'm) t -> Optimist_util.Stats.Counters.t
-(** Per-process protocol counters: [delivered], [injected], [sent],
-    [discarded_obsolete], [held], [released], [rollbacks], [restarts],
-    [tokens_received], [replayed], [piggyback_words], [log_truncated],
-    [checkpoints]. *)
+val metrics : ('s, 'm) t -> Metrics.Scope.t
+(** The process's metrics scope: counters ([delivered], [injected],
+    [sent], [discarded_obsolete], [held], [released], [rollbacks],
+    [restarts], [tokens_received], [replayed], [piggyback_words],
+    [log_truncated], [checkpoints], ...), the [held_messages] gauge and
+    the [rollback_depth] histogram. *)
+
+val counters : ('s, 'm) t -> (string * int) list
+(** [Metrics.Scope.counters (metrics t)] — sorted name/count pairs. *)
 
 val history_record_count : ('s, 'm) t -> int
 (** Current O(n·f) history footprint (Section 6.9(3)). *)

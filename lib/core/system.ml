@@ -1,6 +1,6 @@
 module Engine = Optimist_sim.Engine
 module Network = Optimist_net.Network
-module Counters = Optimist_util.Stats.Counters
+module Metrics = Optimist_obs.Metrics
 open Types
 
 type ('s, 'm) t = {
@@ -9,8 +9,10 @@ type ('s, 'm) t = {
   procs : ('s, 'm) Process.t array;
 }
 
-let create ?(seed = 1L) ?net_config ?config ?tracer ?on_output ~n ~app () =
+let create ?(seed = 1L) ?net_config ?config ?tracer ?trace ?registry
+    ?on_output ~n ~app () =
   let engine = Engine.create ~seed () in
+  (match trace with Some tr -> Engine.set_tracer engine tr | None -> ());
   let net_config =
     match net_config with Some c -> c | None -> Network.default_config ~n
   in
@@ -24,8 +26,15 @@ let create ?(seed = 1L) ?net_config ?config ?tracer ?on_output ~n ~app () =
   in
   let procs =
     Array.init n (fun id ->
-        Process.create ~engine ~net ~app ~id ~n ?config ?tracer ?on_output
-          ~next_uid ())
+        let metrics =
+          Option.map
+            (fun registry ->
+              Metrics.Scope.create ~registry ~protocol:"damani-garg"
+                ~process:id ())
+            registry
+        in
+        Process.create ~engine ~net ~app ~id ~n ?config ?tracer ?metrics
+          ?on_output ~next_uid ())
   in
   { engine; net; procs }
 
@@ -58,12 +67,11 @@ let run ?until t = Engine.run ?until t.engine
 
 let total t name =
   Array.fold_left
-    (fun acc p -> acc + Counters.get (Process.counters p) name)
+    (fun acc p -> acc + Metrics.Scope.get (Process.metrics p) name)
     0 t.procs
 
 let counters t =
-  Array.to_list
-    (Array.mapi (fun i p -> (i, Counters.to_list (Process.counters p))) t.procs)
+  Array.to_list (Array.mapi (fun i p -> (i, Process.counters p)) t.procs)
 
 let all_alive t = Array.for_all Process.alive t.procs
 

@@ -14,6 +14,8 @@ val create :
   ?net_config:Network.config ->
   ?config:Types.config ->
   ?tracer:Types.tracer ->
+  ?trace:Optimist_obs.Trace.t ->
+  ?registry:Optimist_obs.Metrics.registry ->
   ?on_output:(pid:int -> seq:int -> 'm -> unit) ->
   n:int ->
   app:('s, 'm) Types.app ->
@@ -21,7 +23,12 @@ val create :
   ('s, 'm) t
 (** [net_config] defaults to {!Network.default_config} for [n] endpoints
     (reordering network — the protocol needs no ordering). [on_output]
-    receives released application outputs; see {!Process.create}. *)
+    receives released application outputs; see {!Process.create}.
+
+    [trace] installs a structured-trace recorder on the engine before any
+    component is built, so network and process instrumentation pick it up.
+    [registry] makes every process register its metrics scope (labelled
+    [("damani-garg", pid)]) there for cross-process aggregation. *)
 
 val engine : ('s, 'm) t -> Engine.t
 

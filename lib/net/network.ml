@@ -1,6 +1,7 @@
 module Engine = Optimist_sim.Engine
 module Prng = Optimist_util.Prng
 module Counters = Optimist_util.Stats.Counters
+module Trace = Optimist_obs.Trace
 
 type traffic = Data | Control
 
@@ -94,9 +95,28 @@ let is_down t id = t.down.(id)
 
 let traffic_label = function Data -> "data" | Control -> "control"
 
+(* Network events are infrastructure, not protocol state, so they go out
+   as [Custom] records with pid = the endpoint they concern (or -1 for
+   fabric-wide ones). Callers guard with [trace_on] before building the
+   detail string. *)
+let trace_on t = Trace.enabled (Engine.tracer t.engine)
+
+let trace_emit t ~pid name detail =
+  Trace.emit (Engine.tracer t.engine)
+    {
+      at = Engine.now t.engine;
+      pid;
+      ver = 0;
+      clock = [||];
+      kind = Custom { name; detail };
+    }
+
 let deliver t env =
   if t.down.(env.dst) then begin
     Counters.incr t.stats "held.down";
+    if trace_on t then
+      trace_emit t ~pid:env.dst "net.held_down"
+        (Printf.sprintf "src=%d %s" env.src (traffic_label env.traffic));
     t.down_held.(env.dst) <- env :: t.down_held.(env.dst)
   end
   else begin
@@ -126,18 +146,28 @@ let send_envelope t env =
   Counters.incr t.stats (Printf.sprintf "sent.%s" (traffic_label env.traffic));
   if not (reachable t env.src env.dst) then begin
     Counters.incr t.stats "held.partition";
+    if trace_on t then
+      trace_emit t ~pid:env.src "net.held_partition"
+        (Printf.sprintf "dst=%d %s" env.dst (traffic_label env.traffic));
     t.partition_held <- env :: t.partition_held
   end
   else begin
     match env.traffic with
     | Control -> schedule_delivery t env
     | Data ->
-        if Prng.bernoulli t.rng t.cfg.drop_probability then
-          Counters.incr t.stats "dropped.data"
+        if Prng.bernoulli t.rng t.cfg.drop_probability then begin
+          Counters.incr t.stats "dropped.data";
+          if trace_on t then
+            trace_emit t ~pid:env.src "net.drop"
+              (Printf.sprintf "dst=%d" env.dst)
+        end
         else begin
           schedule_delivery t env;
           if Prng.bernoulli t.rng t.cfg.duplicate_probability then begin
             Counters.incr t.stats "duplicated.data";
+            if trace_on t then
+              trace_emit t ~pid:env.src "net.dup"
+                (Printf.sprintf "dst=%d" env.dst);
             schedule_delivery t env
           end
         end
@@ -168,12 +198,18 @@ let partition t groups =
   (* Endpoints not named form an implicit final group. *)
   let implicit = List.length groups in
   Array.iteri (fun id g -> if g = -1 then assignment.(id) <- implicit) assignment;
-  t.group_of <- Some assignment
+  t.group_of <- Some assignment;
+  if trace_on t then
+    trace_emit t ~pid:(-1) "net.partition"
+      (Printf.sprintf "groups=%d" (implicit + 1))
 
 let heal t =
   t.group_of <- None;
   let held = List.rev t.partition_held in
   t.partition_held <- [];
+  if trace_on t then
+    trace_emit t ~pid:(-1) "net.heal"
+      (Printf.sprintf "released=%d" (List.length held));
   List.iter (fun env -> send_envelope t env) held
 
 let set_down t id = t.down.(id) <- true
@@ -190,5 +226,10 @@ let set_up t ?(drop_held_data = false) id =
   List.iter
     (fun env ->
       if keep env then schedule_delivery t env
-      else Counters.incr t.stats "dropped.data")
+      else begin
+        Counters.incr t.stats "dropped.data";
+        if trace_on t then
+          trace_emit t ~pid:id "net.drop"
+            (Printf.sprintf "src=%d held" env.src)
+      end)
     held

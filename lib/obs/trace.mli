@@ -1,0 +1,146 @@
+(** Structured protocol tracing.
+
+    The paper's argument is about causally ordered event histories —
+    orphan detection, obsolete-message discard, at-most-one rollback per
+    failure — so the simulator records exactly those observable events as
+    a typed stream: each {!event} is stamped with virtual time, process
+    id, the process's incarnation number, and (where one exists) the
+    FTVC carried by or produced at the event.
+
+    A {!t} (recorder) fans events out to pluggable {!sink}s: an in-memory
+    ring buffer for tests, a JSONL writer, and a Chrome [trace_event]
+    exporter that loads in [about://tracing]/Perfetto. Tracing is off by
+    default; a disabled recorder costs one boolean load per potential
+    event — call sites guard event construction with {!enabled}, so no
+    closure or record is allocated on the hot path.
+
+    Because the simulation engine is deterministic, the same seed yields
+    a byte-identical JSONL stream, which turns recorded traces into
+    golden-file regression tests for the protocol itself. *)
+
+module Ftvc = Optimist_clock.Ftvc
+
+(** {2 Events} *)
+
+type kind =
+  | Send of { uid : int; dst : int }
+      (** application message handed to the network *)
+  | Deliver of { uid : int; src : int }
+      (** message delivered to the application ([src = -1]: environment
+          stimulus) *)
+  | Drop_obsolete of { uid : int; src : int }
+      (** receive-path discard by the Lemma 4 obsolete test (or a
+          baseline's equivalent) *)
+  | Checkpoint of { position : int }
+      (** checkpoint recorded at the given log position *)
+  | Log_flush of { stable : int }
+      (** volatile log suffix forced to stable storage; [stable] is the
+          new stable length *)
+  | Failure  (** crash: volatile state lost *)
+  | Restart of { new_ver : int }  (** first state of a new incarnation *)
+  | Token_sent of { origin : int; ver : int; ts : int }
+      (** failure announcement broadcast *)
+  | Token_recv of { origin : int; ver : int; ts : int }
+  | Rollback of { discarded : int }
+      (** orphan rollback; [discarded] counts the log entries thrown
+          away *)
+  | Orphan_detected of { origin : int; ver : int; ts : int }
+      (** the Lemma 3 orphan test fired against this token *)
+  | Output_commit of { seq : int }
+      (** a buffered output passed the commit rule and was released *)
+  | Custom of { name : string; detail : string }
+      (** anything else (network drops, holds, gossip, ...) *)
+
+type event = {
+  at : float;  (** virtual time *)
+  pid : int;  (** process the event happened at *)
+  ver : int;  (** that process's incarnation number at the event *)
+  clock : Ftvc.entry array;
+      (** FTVC stamp: the sender's clock for message events, the
+          process's own for state events; [[||]] when no clock applies *)
+  kind : kind;
+}
+
+val kind_name : kind -> string
+(** Stable lower-snake-case discriminator, e.g. ["drop_obsolete"]. *)
+
+val kind_names : string list
+(** Every discriminator {!kind_name} can produce (for CLI filters). *)
+
+(** {2 Sinks} *)
+
+type sink
+
+val sink : ?close:(unit -> unit) -> (event -> unit) -> sink
+(** Custom sink from an event callback. *)
+
+module Ring : sig
+  (** Bounded in-memory sink: keeps the most recent [capacity] events in
+      arrival order. The default test sink. *)
+
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Default capacity 4096. *)
+
+  val sink : t -> sink
+  val length : t -> int
+
+  val to_list : t -> event list
+  (** Oldest first. *)
+
+  val clear : t -> unit
+end
+
+val jsonl_sink : (string -> unit) -> sink
+(** One JSON object per event, one event per line (each write ends in
+    ['\n']). Deterministic byte-for-byte for a fixed event stream. *)
+
+val chrome_sink : (string -> unit) -> sink
+(** Chrome [trace_event] (catapult) JSON, loadable in [about://tracing]
+    and Perfetto: instant events per trace event, flow arrows from each
+    [Send] to its [Deliver] (matched by message uid), and a "down"
+    duration slice between [Failure] and [Restart]. The stream is only
+    valid JSON once the sink is closed (via {!close}). *)
+
+(** {2 Recorder} *)
+
+type t
+
+val null : t
+(** Shared disabled recorder: {!enabled} is [false] forever and
+    {!attach} rejects it. The default everywhere. *)
+
+val create : unit -> t
+(** A recorder with no sinks; disabled until the first {!attach}. *)
+
+val enabled : t -> bool
+(** The hot-path guard. Instrumented code must test this before
+    constructing an event:
+    [if Trace.enabled tr then Trace.emit tr { ... }]. *)
+
+val attach : t -> sink -> unit
+(** Adds a sink and enables the recorder. Raises [Invalid_argument] on
+    {!null}. *)
+
+val emit : t -> event -> unit
+(** Fans the event out to every sink (in attachment order). No-op when
+    disabled. *)
+
+val close : t -> unit
+(** Closes every sink (finalizing file formats). The recorder is
+    disabled afterwards. *)
+
+(** {2 JSONL encoding} *)
+
+val to_json : event -> Json.t
+val of_json : Json.t -> (event, string) result
+
+val to_line : event -> string
+(** [Json.to_string (to_json e)] — no trailing newline. *)
+
+val of_line : string -> (event, string) result
+
+(** {2 Pretty-printing} (the [recsim trace] renderer) *)
+
+val pp_event : Format.formatter -> event -> unit

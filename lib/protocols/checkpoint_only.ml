@@ -1,8 +1,10 @@
 module Engine = Optimist_sim.Engine
 module Network = Optimist_net.Network
 module Vclock = Optimist_clock.Vclock
+module Ftvc = Optimist_clock.Ftvc
 module Checkpoint_store = Optimist_storage.Checkpoint_store
-module Counters = Optimist_util.Stats.Counters
+module Metrics = Optimist_obs.Metrics
+module Trace = Optimist_obs.Trace
 open Optimist_core.Types
 
 type announcement = {
@@ -39,7 +41,7 @@ type ('s, 'm) t = {
   (* Minimum surviving timestamp ever announced per origin: with no way to
      replay, dependencies past it are permanently invalid. *)
   floor : int array;
-  counters : Counters.t;
+  metrics : Metrics.Scope.t;
 }
 
 let make_net engine cfg = Network.create engine cfg
@@ -47,14 +49,28 @@ let make_net engine cfg = Network.create engine cfg
 let id t = t.pid
 let alive t = t.alive
 let state t = t.state
-let counters t = t.counters
+let metrics t = t.metrics
+let counters t = Metrics.Scope.counters t.metrics
+
+let tr_on t = Trace.enabled (Engine.tracer t.engine)
+
+(* Vector clock rendered as FTVC entries with ver = 0; the event's [ver]
+   field carries the epoch (bumped on every restart or rollback). *)
+let tr_clock vc =
+  Array.of_list (List.map (fun ts -> { Ftvc.ver = 0; ts }) (Vclock.to_list vc))
+
+let tr_emit ?clock t kind =
+  let clock = match clock with Some c -> c | None -> tr_clock t.vc in
+  Trace.emit (Engine.tracer t.engine)
+    { at = Engine.now t.engine; pid = t.pid; ver = t.epoch; clock; kind }
 
 let send_app t dst data =
-  Counters.incr t.counters "sent";
-  Counters.incr ~by:(t.n + 1) t.counters "piggyback_words";
+  Metrics.Scope.incr t.metrics "sent";
+  Metrics.Scope.incr ~by:(t.n + 1) t.metrics "piggyback_words";
+  let uid = t.next_uid () in
+  if tr_on t then tr_emit t (Trace.Send { uid; dst });
   Network.send t.net ~src:t.pid ~dst
-    (W_app
-       { data; vc = t.vc; epoch = t.epoch; sender = t.pid; uid = t.next_uid () });
+    (W_app { data; vc = t.vc; epoch = t.epoch; sender = t.pid; uid });
   t.vc <- Vclock.tick t.vc ~me:t.pid
 
 let run_app t ~src data =
@@ -64,12 +80,18 @@ let run_app t ~src data =
   List.iter (fun (dst, payload) -> send_app t dst payload) sends
 
 let take_checkpoint t =
-  Counters.incr t.counters "checkpoints";
+  Metrics.Scope.incr t.metrics "checkpoints";
+  if tr_on t then
+    tr_emit t (Trace.Checkpoint { position = Vclock.get t.vc t.pid });
   Checkpoint_store.record t.checkpoints ~position:(Vclock.get t.vc t.pid)
     { cp_state = t.state; cp_vc = t.vc }
 
 let announce t ~cascade =
-  Counters.incr ~by:(t.n - 1) t.counters "control_messages";
+  Metrics.Scope.incr ~by:(t.n - 1) t.metrics "control_messages";
+  if tr_on t then
+    tr_emit t
+      (Trace.Token_sent
+         { origin = t.pid; ver = t.epoch; ts = Vclock.get t.vc t.pid });
   Network.broadcast t.net ~traffic:Network.Control ~src:t.pid
     (W_ann { a_origin = t.pid; a_ts = Vclock.get t.vc t.pid; a_cascade = cascade })
 
@@ -86,7 +108,7 @@ let restore_to_floor t =
   with
   | None -> assert false
   | Some (cp, position) ->
-      Counters.incr ~by:t.states_since_restore t.counters "lost_states";
+      Metrics.Scope.incr ~by:t.states_since_restore t.metrics "lost_states";
       t.states_since_restore <- 0;
       t.state <- cp.cp_state;
       t.vc <- cp.cp_vc;
@@ -100,10 +122,15 @@ let orphaned t =
   loop 0
 
 let rollback t ~cascade =
-  Counters.incr t.counters "rollbacks";
-  if cascade then Counters.incr t.counters "cascade_rollbacks";
+  Metrics.Scope.incr t.metrics "rollbacks";
+  if cascade then Metrics.Scope.incr t.metrics "cascade_rollbacks";
+  let lost_before = Metrics.Scope.get t.metrics "lost_states" in
   restore_to_floor t;
   t.epoch <- t.epoch + 1;
+  if tr_on t then
+    tr_emit t
+      (Trace.Rollback
+         { discarded = Metrics.Scope.get t.metrics "lost_states" - lost_before });
   (* Our own rollback may orphan others: the domino propagates. The
      announcement carries the restored timestamp — everything beyond it is
      forfeit. *)
@@ -111,15 +138,23 @@ let rollback t ~cascade =
   t.vc <- Vclock.tick t.vc ~me:t.pid
 
 let receive_announcement t (a : announcement) =
-  Counters.incr t.counters "tokens_received";
+  Metrics.Scope.incr t.metrics "tokens_received";
+  if tr_on t then
+    tr_emit t (Trace.Token_recv { origin = a.a_origin; ver = 0; ts = a.a_ts });
   if a.a_ts < t.floor.(a.a_origin) then t.floor.(a.a_origin) <- a.a_ts;
-  if t.alive && orphaned t then rollback t ~cascade:a.a_cascade
+  if t.alive && orphaned t then begin
+    if tr_on t then
+      tr_emit t
+        (Trace.Orphan_detected { origin = a.a_origin; ver = 0; ts = a.a_ts });
+    rollback t ~cascade:a.a_cascade
+  end
 
 let do_restart t =
-  Counters.incr t.counters "restarts";
+  Metrics.Scope.incr t.metrics "restarts";
   t.epoch <- t.epoch + 1;
   restore_to_floor t;
   t.alive <- true;
+  if tr_on t then tr_emit t (Trace.Restart { new_ver = t.epoch });
   Network.set_up t.net t.pid;
   announce t ~cascade:false;
   t.vc <- Vclock.tick t.vc ~me:t.pid;
@@ -128,17 +163,20 @@ let do_restart t =
 let fail t =
   if t.alive then begin
     t.alive <- false;
-    Counters.incr t.counters "failures";
+    if tr_on t then tr_emit t Trace.Failure;
+    Metrics.Scope.incr t.metrics "failures";
     Network.set_down t.net t.pid;
     ignore
       (Engine.schedule t.engine ~delay:t.config.restart_delay (fun () ->
            do_restart t))
   end
 
-let receive_app t ~src ~vc ~epoch data =
-  if epoch < t.peer_epoch.(src) then
+let receive_app t ?(uid = -1) ~src ~vc ~epoch data =
+  if epoch < t.peer_epoch.(src) then begin
     (* Stale traffic from a discarded incarnation of the sender. *)
-    Counters.incr t.counters "discarded_obsolete"
+    Metrics.Scope.incr t.metrics "discarded_obsolete";
+    if tr_on t then tr_emit ~clock:(tr_clock vc) t (Trace.Drop_obsolete { uid; src })
+  end
   else begin
     t.peer_epoch.(src) <- epoch;
     (* Dependency on permanently lost states: unrecoverable, drop. *)
@@ -146,29 +184,39 @@ let receive_app t ~src ~vc ~epoch data =
     for j = 0 to t.n - 1 do
       if j <> t.pid && Vclock.get vc j > t.floor.(j) then dead := true
     done;
-    if !dead then Counters.incr t.counters "discarded_obsolete"
+    if !dead then begin
+      Metrics.Scope.incr t.metrics "discarded_obsolete";
+      if tr_on t then
+        tr_emit ~clock:(tr_clock vc) t (Trace.Drop_obsolete { uid; src })
+    end
     else begin
       t.vc <- Vclock.merge t.vc ~me:t.pid vc;
-      Counters.incr t.counters "delivered";
+      Metrics.Scope.incr t.metrics "delivered";
+      if tr_on t then tr_emit t (Trace.Deliver { uid; src });
       run_app t ~src data
     end
   end
 
 let inject t data =
   if t.alive then begin
-    Counters.incr t.counters "injected";
+    Metrics.Scope.incr t.metrics "injected";
     t.vc <- Vclock.tick t.vc ~me:t.pid;
     run_app t ~src:env_src data
   end
 
 let handle_wire t (env : 'm wire Network.envelope) =
   match env.Network.payload with
-  | W_app { data; vc; epoch; sender; uid = _ } ->
-      if t.alive then receive_app t ~src:sender ~vc ~epoch data
+  | W_app { data; vc; epoch; sender; uid } ->
+      if t.alive then receive_app t ~uid ~src:sender ~vc ~epoch data
   | W_ann a -> receive_announcement t a
 
-let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ~next_uid ()
+let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ?metrics ~next_uid ()
     =
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None -> Metrics.Scope.create ~protocol:"checkpoint-only" ~process:pid ()
+  in
   let t =
     {
       pid;
@@ -186,7 +234,7 @@ let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ~next_uid ()
       states_since_restore = 0;
       checkpoints = Checkpoint_store.create ();
       floor = Array.make n max_int;
-      counters = Counters.create ();
+      metrics;
     }
   in
   Network.set_handler net pid (fun env -> handle_wire t env);

@@ -1,6 +1,7 @@
 module Engine = Optimist_sim.Engine
 module Network = Optimist_net.Network
-module Counters = Optimist_util.Stats.Counters
+module Metrics = Optimist_obs.Metrics
+module Trace = Optimist_obs.Trace
 open Optimist_core.Types
 
 type 'm wire =
@@ -37,7 +38,7 @@ type ('s, 'm) t = {
   mutable ready_count : int; (* initiator-side *)
   mutable round : int;
   mutable states_since_commit : int;
-  counters : Counters.t;
+  metrics : Metrics.Scope.t;
 }
 
 let make_net engine cfg = Network.create engine cfg
@@ -45,15 +46,24 @@ let make_net engine cfg = Network.create engine cfg
 let id t = t.pid
 let alive t = t.alive
 let state t = t.state
-let counters t = t.counters
+let metrics t = t.metrics
+let counters t = Metrics.Scope.counters t.metrics
+
+let tr_on t = Trace.enabled (Engine.tracer t.engine)
+
+let tr_emit t kind =
+  Trace.emit (Engine.tracer t.engine)
+    { at = Engine.now t.engine; pid = t.pid; ver = t.epoch; clock = [||]; kind }
 
 let is_initiator t = t.pid = 0
 
 let really_send t dst data =
-  Counters.incr t.counters "sent";
-  Counters.incr ~by:2 t.counters "piggyback_words";
+  Metrics.Scope.incr t.metrics "sent";
+  Metrics.Scope.incr ~by:2 t.metrics "piggyback_words";
+  let uid = t.next_uid () in
+  if tr_on t then tr_emit t (Trace.Send { uid; dst });
   Network.send t.net ~src:t.pid ~dst
-    (W_app { data; epoch = t.epoch; sender = t.pid; uid = t.next_uid () })
+    (W_app { data; epoch = t.epoch; sender = t.pid; uid })
 
 let send_app t dst data =
   if t.in_round then t.outbox <- (dst, data) :: t.outbox
@@ -65,31 +75,34 @@ let run_app t ~src data =
   t.states_since_commit <- t.states_since_commit + 1;
   List.iter (fun (dst, payload) -> send_app t dst payload) sends
 
-let deliver t ~src ~epoch data =
-  if src >= 0 && epoch < t.peer_epoch.(src) then
+let deliver t ?(uid = -1) ~src ~epoch data =
+  if src >= 0 && epoch < t.peer_epoch.(src) then begin
     (* Stale traffic from before a system-wide rollback. *)
-    Counters.incr t.counters "discarded_obsolete"
+    Metrics.Scope.incr t.metrics "discarded_obsolete";
+    if tr_on t then tr_emit t (Trace.Drop_obsolete { uid; src })
+  end
   else begin
     if src >= 0 then t.peer_epoch.(src) <- epoch;
     if t.in_round then t.buffered <- (src, data, epoch) :: t.buffered
     else begin
-      Counters.incr t.counters "delivered";
+      Metrics.Scope.incr t.metrics "delivered";
+      if tr_on t then tr_emit t (Trace.Deliver { uid; src });
       run_app t ~src data
     end
   end
 
 let inject t data =
   if t.alive then begin
-    Counters.incr t.counters "injected";
+    Metrics.Scope.incr t.metrics "injected";
     deliver t ~src:env_src ~epoch:t.epoch data
   end
 
 let control t dst w =
-  Counters.incr t.counters "control_messages";
+  Metrics.Scope.incr t.metrics "control_messages";
   Network.send t.net ~traffic:Network.Control ~src:t.pid ~dst w
 
 let broadcast_control t w =
-  Counters.incr ~by:(t.n - 1) t.counters "control_messages";
+  Metrics.Scope.incr ~by:(t.n - 1) t.metrics "control_messages";
   Network.broadcast t.net ~traffic:Network.Control ~src:t.pid w
 
 (* Enter the blocking phase: tentative checkpoint, hold all traffic. *)
@@ -99,13 +112,14 @@ let take_tentative t round =
     t.round <- round;
     t.blocked_since <- Engine.now t.engine;
     t.tentative <- Some { sn_state = t.state; sn_round = round };
-    Counters.incr t.counters "checkpoints"
+    Metrics.Scope.incr t.metrics "checkpoints";
+    if tr_on t then tr_emit t (Trace.Checkpoint { position = round })
   end
 
 let release t =
-  Counters.incr
+  Metrics.Scope.incr
     ~by:(int_of_float (1000.0 *. (Engine.now t.engine -. t.blocked_since)))
-    t.counters "blocked_time_x1000";
+    t.metrics "blocked_time_x1000";
   t.in_round <- false;
   let sends = List.rev t.outbox in
   t.outbox <- [];
@@ -127,11 +141,13 @@ let commit t round =
    forfeit (there is no log to replay from). *)
 let rollback_to_line t ~epoch =
   if epoch > t.epoch then begin
-    Counters.incr t.counters "rollbacks";
-    Counters.incr ~by:t.states_since_commit t.counters "lost_states";
+    Metrics.Scope.incr t.metrics "rollbacks";
+    Metrics.Scope.incr ~by:t.states_since_commit t.metrics "lost_states";
+    let discarded = t.states_since_commit in
     t.states_since_commit <- 0;
     t.state <- t.committed.sn_state;
     t.epoch <- epoch;
+    if tr_on t then tr_emit t (Trace.Rollback { discarded });
     t.tentative <- None;
     if t.in_round then release t;
     t.buffered <- [];
@@ -139,9 +155,9 @@ let rollback_to_line t ~epoch =
   end
 
 let do_restart t =
-  Counters.incr t.counters "restarts";
+  Metrics.Scope.incr t.metrics "restarts";
   t.state <- t.committed.sn_state;
-  Counters.incr ~by:t.states_since_commit t.counters "lost_states";
+  Metrics.Scope.incr ~by:t.states_since_commit t.metrics "lost_states";
   t.states_since_commit <- 0;
   t.epoch <- t.epoch + 1;
   t.tentative <- None;
@@ -149,13 +165,18 @@ let do_restart t =
   t.buffered <- [];
   t.outbox <- [];
   t.alive <- true;
+  if tr_on t then begin
+    tr_emit t (Trace.Restart { new_ver = t.epoch });
+    tr_emit t (Trace.Token_sent { origin = t.pid; ver = t.epoch; ts = 0 })
+  end;
   Network.set_up t.net t.pid ~drop_held_data:true;
   broadcast_control t (W_rollback { epoch = t.epoch })
 
 let fail t =
   if t.alive then begin
     t.alive <- false;
-    Counters.incr t.counters "failures";
+    if tr_on t then tr_emit t Trace.Failure;
+    Metrics.Scope.incr t.metrics "failures";
     Network.set_down t.net t.pid;
     ignore
       (Engine.schedule t.engine ~delay:t.config.restart_delay (fun () ->
@@ -164,8 +185,8 @@ let fail t =
 
 let handle_wire t (env : 'm wire Network.envelope) =
   match env.Network.payload with
-  | W_app { data; epoch; sender; uid = _ } ->
-      if t.alive then deliver t ~src:sender ~epoch data
+  | W_app { data; epoch; sender; uid } ->
+      if t.alive then deliver t ~uid ~src:sender ~epoch data
   | W_request { round } ->
       take_tentative t round;
       control t 0 (W_ready { round })
@@ -178,10 +199,19 @@ let handle_wire t (env : 'm wire Network.envelope) =
         end
       end
   | W_commit { round } -> commit t round
-  | W_rollback { epoch } -> rollback_to_line t ~epoch
+  | W_rollback { epoch } ->
+      if tr_on t then
+        tr_emit t
+          (Trace.Token_recv { origin = env.Network.src; ver = epoch; ts = 0 });
+      rollback_to_line t ~epoch
 
-let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ~next_uid ()
+let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ?metrics ~next_uid ()
     =
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None -> Metrics.Scope.create ~protocol:"coordinated" ~process:pid ()
+  in
   let t =
     {
       pid;
@@ -204,7 +234,7 @@ let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ~next_uid ()
       ready_count = 0;
       round = 0;
       states_since_commit = 0;
-      counters = Counters.create ();
+      metrics;
     }
   in
   Network.set_handler net pid (fun env -> handle_wire t env);

@@ -2,7 +2,8 @@ module Engine = Optimist_sim.Engine
 module Network = Optimist_net.Network
 module Message_log = Optimist_storage.Message_log
 module Checkpoint_store = Optimist_storage.Checkpoint_store
-module Counters = Optimist_util.Stats.Counters
+module Metrics = Optimist_obs.Metrics
+module Trace = Optimist_obs.Trace
 open Optimist_core.Types
 
 (* The wire format carries no clock: pessimism needs no causality
@@ -34,7 +35,7 @@ type ('s, 'm) t = {
   mutable epoch : int; (* incarnation counter guarding delayed handlers *)
   log : 'm entry Message_log.t;
   checkpoints : 's Checkpoint_store.t;
-  counters : Counters.t;
+  metrics : Metrics.Scope.t;
 }
 
 let make_net engine cfg = Network.create engine cfg
@@ -42,15 +43,23 @@ let make_net engine cfg = Network.create engine cfg
 let id t = t.pid
 let alive t = t.alive
 let state t = t.state
-let counters t = t.counters
+let metrics t = t.metrics
+let counters t = Metrics.Scope.counters t.metrics
+
+let tr_on t = Trace.enabled (Engine.tracer t.engine)
+
+let tr_emit t kind =
+  Trace.emit (Engine.tracer t.engine)
+    { at = Engine.now t.engine; pid = t.pid; ver = t.epoch; clock = [||]; kind }
 
 let send_app t dst data =
   if not t.replaying then begin
-    Counters.incr t.counters "sent";
+    Metrics.Scope.incr t.metrics "sent";
     (* O(1) header: sender id + uid, counted as 2 words. *)
-    Counters.incr ~by:2 t.counters "piggyback_words";
-    Network.send t.net ~src:t.pid ~dst
-      { data; sender = t.pid; uid = t.next_uid () }
+    Metrics.Scope.incr ~by:2 t.metrics "piggyback_words";
+    let uid = t.next_uid () in
+    if tr_on t then tr_emit t (Trace.Send { uid; dst });
+    Network.send t.net ~src:t.pid ~dst { data; sender = t.pid; uid }
   end
 
 let run_app t ~src data =
@@ -62,33 +71,37 @@ let run_app t ~src data =
    simulated write latency is charged, and only then does the handler
    run. A crash in the window between the write and the handler loses
    nothing: replay re-runs the handler from the stable log. *)
-let deliver t ~src data =
+let deliver t ?(uid = -1) ~src data =
   Message_log.append t.log { e_data = data; e_sender = src };
   Message_log.flush t.log;
-  Counters.incr
+  if tr_on t then
+    tr_emit t (Trace.Log_flush { stable = Message_log.stable_length t.log });
+  Metrics.Scope.incr
     ~by:(int_of_float (1000.0 *. t.config.sync_write_latency))
-    t.counters "blocked_time_x1000";
+    t.metrics "blocked_time_x1000";
   let epoch = t.epoch in
   ignore
     (Engine.schedule t.engine ~delay:t.config.sync_write_latency (fun () ->
          if t.alive && t.epoch = epoch then begin
-           Counters.incr t.counters "delivered";
+           Metrics.Scope.incr t.metrics "delivered";
+           if tr_on t then tr_emit t (Trace.Deliver { uid; src });
            t.processed <- t.processed + 1;
            run_app t ~src data
          end))
 
 let inject t data =
   if t.alive then begin
-    Counters.incr t.counters "injected";
+    Metrics.Scope.incr t.metrics "injected";
     deliver t ~src:env_src data
   end
 
 let take_checkpoint t =
-  Counters.incr t.counters "checkpoints";
+  Metrics.Scope.incr t.metrics "checkpoints";
+  if tr_on t then tr_emit t (Trace.Checkpoint { position = t.processed });
   Checkpoint_store.record t.checkpoints ~position:t.processed t.state
 
 let do_restart t =
-  Counters.incr t.counters "restarts";
+  Metrics.Scope.incr t.metrics "restarts";
   t.epoch <- t.epoch + 1;
   (match Checkpoint_store.latest t.checkpoints with
   | None -> assert false
@@ -97,18 +110,20 @@ let do_restart t =
       t.replaying <- true;
       Message_log.iter_range t.log ~from:position
         ~until:(Message_log.stable_length t.log) (fun e ->
-          Counters.incr t.counters "replayed";
+          Metrics.Scope.incr t.metrics "replayed";
           run_app t ~src:e.e_sender e.e_data);
       t.replaying <- false;
       t.processed <- Message_log.stable_length t.log);
   t.alive <- true;
+  if tr_on t then tr_emit t (Trace.Restart { new_ver = t.epoch });
   Network.set_up t.net t.pid;
   take_checkpoint t
 
 let fail t =
   if t.alive then begin
     t.alive <- false;
-    Counters.incr t.counters "failures";
+    if tr_on t then tr_emit t Trace.Failure;
+    Metrics.Scope.incr t.metrics "failures";
     Network.set_down t.net t.pid;
     ignore
       (Engine.schedule t.engine ~delay:t.config.restart_delay (fun () ->
@@ -117,10 +132,15 @@ let fail t =
 
 let handle_wire t (env : 'm wire Network.envelope) =
   let w = env.Network.payload in
-  deliver t ~src:w.sender w.data
+  deliver t ~uid:w.uid ~src:w.sender w.data
 
-let create ~engine ~net ~app ~id:pid ~n:_ ?(config = default_config) ~next_uid
-    () =
+let create ~engine ~net ~app ~id:pid ~n:_ ?(config = default_config) ?metrics
+    ~next_uid () =
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None -> Metrics.Scope.create ~protocol:"pessimistic" ~process:pid ()
+  in
   let t =
     {
       pid;
@@ -136,7 +156,7 @@ let create ~engine ~net ~app ~id:pid ~n:_ ?(config = default_config) ~next_uid
       epoch = 0;
       log = Message_log.create ();
       checkpoints = Checkpoint_store.create ();
-      counters = Counters.create ();
+      metrics;
     }
   in
   Network.set_handler net pid (fun env -> handle_wire t env);

@@ -1,9 +1,11 @@
 module Engine = Optimist_sim.Engine
 module Network = Optimist_net.Network
 module Vclock = Optimist_clock.Vclock
+module Ftvc = Optimist_clock.Ftvc
 module Message_log = Optimist_storage.Message_log
 module Checkpoint_store = Optimist_storage.Checkpoint_store
-module Counters = Optimist_util.Stats.Counters
+module Metrics = Optimist_obs.Metrics
+module Trace = Optimist_obs.Trace
 open Optimist_core.Types
 
 type announcement = { a_origin : int; a_ts : int; a_round : int }
@@ -51,7 +53,7 @@ type ('s, 'm) t = {
   mutable buffered : (int * 'm * Vclock.t) list; (* src, data, vc; newest first *)
   (* Active recovery announcements by other processes: obsolete filter. *)
   mutable active : announcement list;
-  counters : Counters.t;
+  metrics : Metrics.Scope.t;
 }
 
 let make_net engine cfg = Network.create engine cfg
@@ -60,13 +62,38 @@ let id t = t.pid
 let alive t = t.alive
 let blocked t = t.awaiting_acks > 0
 let state t = t.state
-let counters t = t.counters
+let metrics t = t.metrics
+let counters t = Metrics.Scope.counters t.metrics
 
-let flush_now t = Message_log.flush t.log
+let tr_on t = Trace.enabled (Engine.tracer t.engine)
+
+(* The vector clock maps onto the trace's FTVC shape with ver = 0 per
+   entry; the event's [ver] field carries the recovery-round counter. *)
+let tr_clock vc =
+  Array.of_list (List.map (fun ts -> { Ftvc.ver = 0; ts }) (Vclock.to_list vc))
+
+let tr_emit ?clock t kind =
+  let clock = match clock with Some c -> c | None -> tr_clock t.vc in
+  Trace.emit (Engine.tracer t.engine)
+    {
+      at = Engine.now t.engine;
+      pid = t.pid;
+      ver = t.round_counter;
+      clock;
+      kind;
+    }
+
+let flush_now t =
+  let before = Message_log.stable_length t.log in
+  Message_log.flush t.log;
+  let stable = Message_log.stable_length t.log in
+  if stable > before && tr_on t then tr_emit t (Trace.Log_flush { stable })
 
 let take_checkpoint t =
   flush_now t;
-  Counters.incr t.counters "checkpoints";
+  Metrics.Scope.incr t.metrics "checkpoints";
+  if tr_on t then
+    tr_emit t (Trace.Checkpoint { position = Message_log.total_length t.log });
   Checkpoint_store.record t.checkpoints
     ~position:(Message_log.total_length t.log)
     { cp_state = t.state; cp_vc = t.vc }
@@ -74,10 +101,12 @@ let take_checkpoint t =
 let send_app t dst data =
   if t.replaying then t.vc <- Vclock.tick t.vc ~me:t.pid
   else begin
-    Counters.incr t.counters "sent";
-    Counters.incr ~by:t.n t.counters "piggyback_words";
+    Metrics.Scope.incr t.metrics "sent";
+    Metrics.Scope.incr ~by:t.n t.metrics "piggyback_words";
+    let uid = t.next_uid () in
+    if tr_on t then tr_emit t (Trace.Send { uid; dst });
     Network.send t.net ~src:t.pid ~dst
-      (W_app { data; vc = t.vc; sender = t.pid; uid = t.next_uid () });
+      (W_app { data; vc = t.vc; sender = t.pid; uid });
     t.vc <- Vclock.tick t.vc ~me:t.pid
   end
 
@@ -86,14 +115,15 @@ let run_app t ~src data =
   t.state <- state';
   List.iter (fun (dst, payload) -> send_app t dst payload) sends
 
-let deliver_now t ~src ~vc data =
+let deliver_now t ?(uid = -1) ~src ~vc data =
   Message_log.append t.log (E_msg { data; vc; sender = src });
   t.vc <- Vclock.merge t.vc ~me:t.pid vc;
-  Counters.incr t.counters (if src = env_src then "injected" else "delivered");
+  Metrics.Scope.incr t.metrics (if src = env_src then "injected" else "delivered");
+  if tr_on t then tr_emit t (Trace.Deliver { uid; src });
   run_app t ~src data
 
 let replay_entry t e =
-  Counters.incr t.counters "replayed";
+  Metrics.Scope.incr t.metrics "replayed";
   match e with
   | E_msg { data; vc; sender } ->
       t.vc <- Vclock.merge t.vc ~me:t.pid vc;
@@ -133,17 +163,25 @@ let restore t ~origin ~ts =
       let stop = replay position in
       t.replaying <- false;
       if stop < Message_log.total_length t.log then begin
-        Counters.incr
+        Metrics.Scope.incr
           ~by:(Message_log.total_length t.log - stop)
-          t.counters "log_truncated";
+          t.metrics "log_truncated";
         Message_log.truncate t.log stop;
         Checkpoint_store.discard_after t.checkpoints ~position:stop
       end
 
 let rollback t ~origin ~ts =
-  Counters.incr t.counters "rollbacks";
+  Metrics.Scope.incr t.metrics "rollbacks";
   flush_now t;
+  let truncated_before = Metrics.Scope.get t.metrics "log_truncated" in
   restore t ~origin ~ts;
+  if tr_on t then
+    tr_emit t
+      (Trace.Rollback
+         {
+           discarded =
+             Metrics.Scope.get t.metrics "log_truncated" - truncated_before;
+         });
   t.vc <- Vclock.tick t.vc ~me:t.pid;
   Message_log.append t.log (E_mark (Vclock.get t.vc t.pid));
   flush_now t
@@ -151,14 +189,16 @@ let rollback t ~origin ~ts =
 let message_obsolete t (vc : Vclock.t) =
   List.exists (fun a -> Vclock.get vc a.a_origin > a.a_ts) t.active
 
-let receive_app t ~src ~vc data =
+let receive_app t ?(uid = -1) ~src ~vc data =
   if t.awaiting_acks > 0 then
     (* Synchronous recovery: block application traffic until the round
        completes. *)
     t.buffered <- (src, data, vc) :: t.buffered
-  else if message_obsolete t vc then
-    Counters.incr t.counters "discarded_obsolete"
-  else deliver_now t ~src ~vc data
+  else if message_obsolete t vc then begin
+    Metrics.Scope.incr t.metrics "discarded_obsolete";
+    if tr_on t then tr_emit ~clock:(tr_clock vc) t (Trace.Drop_obsolete { uid; src })
+  end
+  else deliver_now t ~uid ~src ~vc data
 
 let inject t data =
   if t.alive then
@@ -169,13 +209,13 @@ let inject t data =
 let finish_round t =
   (match t.blocked_since with
   | Some since ->
-      Counters.incr
+      Metrics.Scope.incr
         ~by:(int_of_float (1000.0 *. (Engine.now t.engine -. since)))
-        t.counters "blocked_time_x1000";
+        t.metrics "blocked_time_x1000";
       t.blocked_since <- None
   | None -> ());
   t.awaiting_acks <- 0;
-  Counters.incr ~by:(t.n - 1) t.counters "control_messages";
+  Metrics.Scope.incr ~by:(t.n - 1) t.metrics "control_messages";
   Network.broadcast t.net ~traffic:Network.Control ~src:t.pid
     (W_resume { round = t.my_round });
   let pending = List.rev t.buffered in
@@ -183,8 +223,8 @@ let finish_round t =
   List.iter (fun (src, data, vc) -> receive_app t ~src ~vc data) pending
 
 let do_restart t =
-  Counters.incr t.counters "restarts";
-  if t.active <> [] then Counters.incr t.counters "unsupported_overlap";
+  Metrics.Scope.incr t.metrics "restarts";
+  if t.active <> [] then Metrics.Scope.incr t.metrics "unsupported_overlap";
   (* Restore checkpoint + full stable log: the maximum locally recoverable
      state. *)
   (match Checkpoint_store.latest t.checkpoints with
@@ -202,8 +242,13 @@ let do_restart t =
   t.round_counter <- t.round_counter + 1;
   t.my_round <- t.round_counter;
   t.awaiting_acks <- t.n - 1;
+  if tr_on t then tr_emit t (Trace.Restart { new_ver = t.round_counter });
   t.blocked_since <- Some (Engine.now t.engine);
-  Counters.incr ~by:(t.n - 1) t.counters "control_messages";
+  Metrics.Scope.incr ~by:(t.n - 1) t.metrics "control_messages";
+  if tr_on t then
+    tr_emit t
+      (Trace.Token_sent
+         { origin = t.pid; ver = t.my_round; ts = Vclock.get t.vc t.pid });
   Network.broadcast t.net ~traffic:Network.Control ~src:t.pid
     (W_token
        { a_origin = t.pid; a_ts = Vclock.get t.vc t.pid; a_round = t.my_round });
@@ -213,7 +258,8 @@ let do_restart t =
 let fail t =
   if t.alive then begin
     t.alive <- false;
-    Counters.incr t.counters "failures";
+    if tr_on t then tr_emit t Trace.Failure;
+    Metrics.Scope.incr t.metrics "failures";
     Message_log.crash t.log;
     t.buffered <- [];
     t.awaiting_acks <- 0;
@@ -225,16 +271,25 @@ let fail t =
   end
 
 let receive_token t (a : announcement) =
-  Counters.incr t.counters "tokens_received";
+  Metrics.Scope.incr t.metrics "tokens_received";
+  if tr_on t then
+    tr_emit t
+      (Trace.Token_recv { origin = a.a_origin; ver = a.a_round; ts = a.a_ts });
   t.active <- a :: t.active;
-  if Vclock.get t.vc a.a_origin > a.a_ts then rollback t ~origin:a.a_origin ~ts:a.a_ts;
-  Counters.incr t.counters "control_messages";
+  if Vclock.get t.vc a.a_origin > a.a_ts then begin
+    if tr_on t then
+      tr_emit t
+        (Trace.Orphan_detected
+           { origin = a.a_origin; ver = a.a_round; ts = a.a_ts });
+    rollback t ~origin:a.a_origin ~ts:a.a_ts
+  end;
+  Metrics.Scope.incr t.metrics "control_messages";
   Network.send t.net ~traffic:Network.Control ~src:t.pid ~dst:a.a_origin
     (W_ack { round = a.a_round })
 
 let handle_wire t (env : 'm wire Network.envelope) =
   match env.Network.payload with
-  | W_app { data; vc; sender; uid = _ } -> receive_app t ~src:sender ~vc data
+  | W_app { data; vc; sender; uid } -> receive_app t ~uid ~src:sender ~vc data
   | W_token a -> receive_token t a
   | W_ack { round } ->
       if round = t.my_round && t.awaiting_acks > 0 then begin
@@ -244,8 +299,13 @@ let handle_wire t (env : 'm wire Network.envelope) =
   | W_resume { round } ->
       t.active <- List.filter (fun a -> a.a_round <> round) t.active
 
-let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ~next_uid ()
+let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ?metrics ~next_uid ()
     =
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None -> Metrics.Scope.create ~protocol:"peterson-kearns" ~process:pid ()
+  in
   let t =
     {
       pid;
@@ -267,7 +327,7 @@ let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ~next_uid ()
       blocked_since = None;
       buffered = [];
       active = [];
-      counters = Counters.create ();
+      metrics;
     }
   in
   Network.set_handler net pid (fun env -> handle_wire t env);

@@ -41,6 +41,7 @@ val create :
   id:int ->
   n:int ->
   ?config:config ->
+  ?metrics:Optimist_obs.Metrics.Scope.t ->
   next_uid:(unit -> int) ->
   unit ->
   ('s, 'm) t
@@ -53,4 +54,9 @@ val blocked : ('s, 'm) t -> bool
 val state : ('s, 'm) t -> 's
 val inject : ('s, 'm) t -> 'm -> unit
 val fail : ('s, 'm) t -> unit
-val counters : ('s, 'm) t -> Optimist_util.Stats.Counters.t
+val metrics : ('s, 'm) t -> Optimist_obs.Metrics.Scope.t
+(** The per-process metrics scope (labelled with this protocol's
+    name); shares counter names with the core engine where the
+    concepts coincide. *)
+
+val counters : ('s, 'm) t -> (string * int) list

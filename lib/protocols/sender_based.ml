@@ -1,7 +1,8 @@
 module Engine = Optimist_sim.Engine
 module Network = Optimist_net.Network
 module Checkpoint_store = Optimist_storage.Checkpoint_store
-module Counters = Optimist_util.Stats.Counters
+module Metrics = Optimist_obs.Metrics
+module Trace = Optimist_obs.Trace
 open Optimist_core.Types
 
 type 'm wire =
@@ -55,7 +56,7 @@ type ('s, 'm) t = {
       (* src, data, (sender, uid) to acknowledge *)
   checkpoints : ('s * int) Checkpoint_store.t; (* state, rsn at checkpoint *)
   mutable epoch : int;
-  counters : Counters.t;
+  metrics : Metrics.Scope.t;
 }
 
 let make_net engine cfg = Network.create engine cfg
@@ -64,11 +65,18 @@ let id t = t.pid
 let alive t = t.alive
 let recovering t = t.recovery <> None
 let state t = t.state
-let counters t = t.counters
+let metrics t = t.metrics
+let counters t = Metrics.Scope.counters t.metrics
+
+let tr_on t = Trace.enabled (Engine.tracer t.engine)
+
+let tr_emit t kind =
+  Trace.emit (Engine.tracer t.engine)
+    { at = Engine.now t.engine; pid = t.pid; ver = t.epoch; clock = [||]; kind }
 
 let charge_blocked t since =
   let ms = int_of_float (1000.0 *. (Engine.now t.engine -. since)) in
-  Counters.incr ~by:ms t.counters "blocked_time_x1000"
+  Metrics.Scope.incr ~by:ms t.metrics "blocked_time_x1000"
 
 (* In J-Z the receiver's deliveries are reconstructed from the senders'
    logs; we additionally keep a local array standing in for the volatile
@@ -89,10 +97,11 @@ let send_wire t ?(traffic = Network.Data) dst w =
 
 let really_send t dst data =
   let uid = t.next_uid () in
-  Counters.incr t.counters "sent";
-  Counters.incr ~by:2 t.counters "piggyback_words";
+  Metrics.Scope.incr t.metrics "sent";
+  Metrics.Scope.incr ~by:2 t.metrics "piggyback_words";
   Hashtbl.replace t.send_log uid
     { sr_dst = dst; sr_data = data; sr_uid = uid; sr_rsn = None };
+  if tr_on t then tr_emit t (Trace.Send { uid; dst });
   send_wire t dst (W_app { data; uid; retransmit_rsn = None })
 
 let flush_outbox t =
@@ -128,24 +137,29 @@ let deliver t ~src data ~ack =
   let rsn = t.rsn_next in
   t.rsn_next <- rsn + 1;
   record_delivery t ~src data;
-  Counters.incr t.counters "delivered";
+  Metrics.Scope.incr t.metrics "delivered";
+  if tr_on t then begin
+    let uid = match ack with Some (_, uid) -> uid | None -> -1 in
+    tr_emit t (Trace.Deliver { uid; src })
+  end;
   (match ack with
   | Some (sender, uid) when sender >= 0 ->
       t.unconfirmed <- t.unconfirmed + 1;
-      Counters.incr t.counters "control_messages";
+      Metrics.Scope.incr t.metrics "control_messages";
       send_wire t ~traffic:Network.Control sender (W_ack { uid; rsn })
   | _ -> ());
   run_app t ~src data
 
 let inject t data =
   if t.alive && t.recovery = None then begin
-    Counters.incr t.counters "injected";
+    Metrics.Scope.incr t.metrics "injected";
     (* Environment stimuli are treated as stably logged on arrival. *)
     deliver t ~src:env_src data ~ack:None
   end
 
 let take_checkpoint t =
-  Counters.incr t.counters "checkpoints";
+  Metrics.Scope.incr t.metrics "checkpoints";
+  if tr_on t then tr_emit t (Trace.Checkpoint { position = t.rsn_next });
   Checkpoint_store.record t.checkpoints ~position:t.rsn_next
     (t.state, t.rsn_next)
 
@@ -159,13 +173,13 @@ let finish_recovery t (r : ('s, 'm) recovery) =
     | (rsn, data, src) :: rest ->
         if rsn < expected then replay expected rest (* duplicate *)
         else if rsn = expected then begin
-          Counters.incr t.counters "replayed";
+          Metrics.Scope.incr t.metrics "replayed";
           record_delivery t ~src data;
           run_app t ~src data;
           replay (expected + 1) rest
         end
         else begin
-          Counters.incr ~by:(List.length rest + 1) t.counters "unrecoverable";
+          Metrics.Scope.incr ~by:(List.length rest + 1) t.metrics "unrecoverable";
           expected
         end
   in
@@ -184,7 +198,7 @@ let finish_recovery t (r : ('s, 'm) recovery) =
   flush_outbox t
 
 let do_restart t =
-  Counters.incr t.counters "restarts";
+  Metrics.Scope.incr t.metrics "restarts";
   t.epoch <- t.epoch + 1;
   (match Checkpoint_store.latest t.checkpoints with
   | None -> assert false
@@ -193,20 +207,24 @@ let do_restart t =
       t.rsn_next <- rsn;
       t.delivered_len <- min t.delivered_len rsn);
   t.alive <- true;
+  if tr_on t then tr_emit t (Trace.Restart { new_ver = t.epoch });
   t.unconfirmed <- 0;
   t.outbox <- [];
   t.blocked_since <- None;
   Network.set_up t.net t.pid;
   t.recovery <-
     Some { buffered = []; done_count = 0; started_at = Engine.now t.engine };
-  Counters.incr ~by:(t.n - 1) t.counters "control_messages";
+  Metrics.Scope.incr ~by:(t.n - 1) t.metrics "control_messages";
+  if tr_on t then
+    tr_emit t (Trace.Token_sent { origin = t.pid; ver = t.epoch; ts = t.rsn_next });
   Network.broadcast t.net ~traffic:Network.Control ~src:t.pid
     (W_recover { from_rsn = t.rsn_next })
 
 let fail t =
   if t.alive then begin
     t.alive <- false;
-    Counters.incr t.counters "failures";
+    if tr_on t then tr_emit t Trace.Failure;
+    Metrics.Scope.incr t.metrics "failures";
     (* Volatile state lost: the send log, delivery record, outbox. *)
     Hashtbl.reset t.send_log;
     t.delivered_len <- 0;
@@ -220,6 +238,8 @@ let fail t =
   end
 
 let handle_recover_request t ~src ~from_rsn =
+  if tr_on t then
+    tr_emit t (Trace.Token_recv { origin = src; ver = 0; ts = from_rsn });
   (* Retransmit everything we logged for [src] with a recorded RSN past the
      checkpoint, then signal completion. *)
   Hashtbl.iter
@@ -227,19 +247,19 @@ let handle_recover_request t ~src ~from_rsn =
       if r.sr_dst = src then
         match r.sr_rsn with
         | Some rsn when rsn >= from_rsn ->
-            Counters.incr t.counters "retransmitted";
+            Metrics.Scope.incr t.metrics "retransmitted";
             send_wire t ~traffic:Network.Control src
               (W_app { data = r.sr_data; uid = r.sr_uid; retransmit_rsn = Some rsn })
         | Some _ -> ()
         | None ->
             (* Unacknowledged: the receiver never delivered it (or lost the
                delivery); resend as fresh. *)
-            Counters.incr t.counters "retransmitted";
+            Metrics.Scope.incr t.metrics "retransmitted";
             send_wire t ~traffic:Network.Control src
               (W_app { data = r.sr_data; uid = r.sr_uid; retransmit_rsn = None })
         )
     t.send_log;
-  Counters.incr t.counters "control_messages";
+  Metrics.Scope.incr t.metrics "control_messages";
   send_wire t ~traffic:Network.Control src W_recover_done
 
 let handle_wire t (env : 'm wire Network.envelope) =
@@ -261,7 +281,7 @@ let handle_wire t (env : 'm wire Network.envelope) =
       match Hashtbl.find_opt t.send_log uid with
       | Some r ->
           r.sr_rsn <- Some rsn;
-          Counters.incr t.counters "control_messages";
+          Metrics.Scope.incr t.metrics "control_messages";
           send_wire t ~traffic:Network.Control src (W_confirm { rsn })
       | None ->
           (* We crashed since sending; the record is gone. The receiver's
@@ -281,8 +301,13 @@ let handle_wire t (env : 'm wire Network.envelope) =
           if r.done_count = t.n - 1 then finish_recovery t r
       | None -> ())
 
-let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ~next_uid ()
+let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ?metrics ~next_uid ()
     =
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None -> Metrics.Scope.create ~protocol:"sender-based" ~process:pid ()
+  in
   let t =
     {
       pid;
@@ -306,7 +331,7 @@ let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ~next_uid ()
       fresh_during_recovery = [];
       checkpoints = Checkpoint_store.create ();
       epoch = 0;
-      counters = Counters.create ();
+      metrics;
     }
   in
   Network.set_handler net pid (fun env -> handle_wire t env);

@@ -3,7 +3,8 @@ module Network = Optimist_net.Network
 module Ftvc = Optimist_clock.Ftvc
 module Message_log = Optimist_storage.Message_log
 module Checkpoint_store = Optimist_storage.Checkpoint_store
-module Counters = Optimist_util.Stats.Counters
+module Metrics = Optimist_obs.Metrics
+module Trace = Optimist_obs.Trace
 open Optimist_core.Types
 
 (* The dependency vector reuses the FTVC entry layout: (incarnation,
@@ -49,7 +50,7 @@ type ('s, 'm) t = {
   log : 'm entry_log Message_log.t;
   checkpoints : ('s, 'm) checkpoint Checkpoint_store.t;
   mutable announcements : announcement list; (* stable, like D-G tokens *)
-  counters : Counters.t;
+  metrics : Metrics.Scope.t;
 }
 
 let make_net engine cfg = Network.create engine cfg
@@ -58,7 +59,21 @@ let id t = t.pid
 let alive t = t.alive
 let state t = t.state
 let incarnation t = (Ftvc.own t.clock).Ftvc.ver
-let counters t = t.counters
+let metrics t = t.metrics
+let counters t = Metrics.Scope.counters t.metrics
+
+let tr_on t = Trace.enabled (Engine.tracer t.engine)
+
+let tr_emit ?clock t kind =
+  let clock = match clock with Some c -> c | None -> Ftvc.entries t.clock in
+  Trace.emit (Engine.tracer t.engine)
+    {
+      at = Engine.now t.engine;
+      pid = t.pid;
+      ver = (Ftvc.own t.clock).Ftvc.ver;
+      clock;
+      kind;
+    }
 
 let has_announcement t ~origin ~inc =
   List.exists (fun a -> a.a_origin = origin && a.a_inc = inc) t.announcements
@@ -84,7 +99,9 @@ let flush_now t = Message_log.flush t.log
 
 let take_checkpoint t =
   flush_now t;
-  Counters.incr t.counters "checkpoints";
+  Metrics.Scope.incr t.metrics "checkpoints";
+  if tr_on t then
+    tr_emit t (Trace.Checkpoint { position = Message_log.total_length t.log });
   Checkpoint_store.record t.checkpoints
     ~position:(Message_log.total_length t.log)
     { cp_state = t.state; cp_clock = t.clock }
@@ -94,11 +111,12 @@ let take_checkpoint t =
 let send_app t dst data =
   if t.replaying then t.clock <- Ftvc.sent t.clock
   else begin
-    Counters.incr t.counters "sent";
-    Counters.incr ~by:(Ftvc.size_words t.clock) t.counters "piggyback_words";
+    let uid = t.next_uid () in
+    Metrics.Scope.incr t.metrics "sent";
+    Metrics.Scope.incr ~by:(Ftvc.size_words t.clock) t.metrics "piggyback_words";
+    if tr_on t then tr_emit t (Trace.Send { uid; dst });
     Network.send t.net ~src:t.pid ~dst
-      (W_app
-         { data; clock = Ftvc.entries t.clock; sender = t.pid; uid = t.next_uid () });
+      (W_app { data; clock = Ftvc.entries t.clock; sender = t.pid; uid });
     t.clock <- Ftvc.sent t.clock
   end
 
@@ -116,7 +134,7 @@ let note_blind_jumps t (clock : Ftvc.entry array) =
           e.Ftvc.ver > mine.Ftvc.ver
           && not (announcements_complete_below t ~origin:j ~inc:e.Ftvc.ver)
         then begin
-          Counters.incr t.counters "blind_jumps";
+          Metrics.Scope.incr t.metrics "blind_jumps";
           t.dirty.(j) <- true
         end
       end)
@@ -126,11 +144,11 @@ let deliver_now t ~src ~clock data =
   Message_log.append t.log (E_msg { data; clock; sender = src });
   note_blind_jumps t clock;
   t.clock <- Ftvc.deliver_entries t.clock ~received:clock;
-  Counters.incr t.counters (if src = env_src then "injected" else "delivered");
+  Metrics.Scope.incr t.metrics (if src = env_src then "injected" else "delivered");
   run_app t ~src data
 
 let replay_entry t e =
-  Counters.incr t.counters "replayed";
+  Metrics.Scope.incr t.metrics "replayed";
   match e with
   | E_msg { data; clock; sender } ->
       t.clock <- Ftvc.deliver_entries t.clock ~received:clock;
@@ -183,9 +201,9 @@ let restore t ~against =
       let stop = replay position in
       t.replaying <- false;
       if stop < Message_log.total_length t.log then begin
-        Counters.incr
+        Metrics.Scope.incr
           ~by:(Message_log.total_length t.log - stop)
-          t.counters "log_truncated";
+          t.metrics "log_truncated";
         Message_log.truncate t.log stop;
         Checkpoint_store.discard_after t.checkpoints ~position:stop
       end
@@ -194,12 +212,20 @@ let all_known_exact t =
   List.map (fun a -> (a, false)) t.announcements
 
 let rollback t ~trigger ~conservative =
-  Counters.incr t.counters "rollbacks";
-  if conservative then Counters.incr t.counters "conservative_rollbacks";
+  Metrics.Scope.incr t.metrics "rollbacks";
+  if conservative then Metrics.Scope.incr t.metrics "conservative_rollbacks";
   flush_now t;
   let orphaned = t.clock in
   let against = (trigger, conservative) :: all_known_exact t in
+  let truncated_before = Metrics.Scope.get t.metrics "log_truncated" in
   restore t ~against;
+  if tr_on t then
+    tr_emit t
+      (Trace.Rollback
+         {
+           discarded =
+             Metrics.Scope.get t.metrics "log_truncated" - truncated_before;
+         });
   t.clock <- Ftvc.rolled_back_from ~restored:t.clock ~orphaned;
   Message_log.append t.log (E_mark (Ftvc.own t.clock));
   flush_now t;
@@ -208,12 +234,20 @@ let rollback t ~trigger ~conservative =
 (* --- announcements --- *)
 
 let receive_announcement t (a : announcement) =
-  Counters.incr t.counters "tokens_received";
+  Metrics.Scope.incr t.metrics "tokens_received";
+  if tr_on t then
+    tr_emit t
+      (Trace.Token_recv { origin = a.a_origin; ver = a.a_inc; ts = a.a_ts });
   if not (has_announcement t ~origin:a.a_origin ~inc:a.a_inc) then
     t.announcements <- a :: t.announcements;
   let e = Ftvc.get t.clock a.a_origin in
-  if e.Ftvc.ver = a.a_inc && e.Ftvc.ts > a.a_ts then
+  if e.Ftvc.ver = a.a_inc && e.Ftvc.ts > a.a_ts then begin
+    if tr_on t then
+      tr_emit t
+        (Trace.Orphan_detected
+           { origin = a.a_origin; ver = a.a_inc; ts = a.a_ts });
     rollback t ~trigger:a ~conservative:false
+  end
   else if e.Ftvc.ver > a.a_inc && t.dirty.(a.a_origin) then
     (* The dependency information on the announced incarnation was lost in
        a blind jump: roll back conservatively past the jump. *)
@@ -222,9 +256,12 @@ let receive_announcement t (a : announcement) =
 (* --- failure / restart --- *)
 
 let do_restart t =
-  Counters.incr t.counters "restarts";
+  Metrics.Scope.incr t.metrics "restarts";
   restore t ~against:(all_known_exact t);
   let own = Ftvc.own t.clock in
+  if tr_on t then
+    tr_emit t
+      (Trace.Token_sent { origin = t.pid; ver = own.Ftvc.ver; ts = own.Ftvc.ts });
   Network.broadcast t.net ~traffic:Network.Control ~src:t.pid
     (W_ann { a_origin = t.pid; a_inc = own.Ftvc.ver; a_ts = own.Ftvc.ts });
   t.announcements <-
@@ -232,13 +269,16 @@ let do_restart t =
     :: t.announcements;
   t.clock <- Ftvc.restart t.clock;
   t.alive <- true;
+  if tr_on t then
+    tr_emit t (Trace.Restart { new_ver = (Ftvc.own t.clock).Ftvc.ver });
   Network.set_up t.net t.pid;
   take_checkpoint t
 
 let fail t =
   if t.alive then begin
     t.alive <- false;
-    Counters.incr t.counters "failures";
+    if tr_on t then tr_emit t Trace.Failure;
+    Metrics.Scope.incr t.metrics "failures";
     Message_log.crash t.log;
     Array.fill t.dirty 0 t.n false;
     Network.set_down t.net t.pid;
@@ -250,10 +290,14 @@ let fail t =
 (* --- receive path: no deliverability hold --- *)
 
 let receive_app t ~src ~clock ~uid data =
-  ignore uid;
-  if message_obsolete t clock then
-    Counters.incr t.counters "discarded_obsolete"
-  else deliver_now t ~src ~clock data
+  if message_obsolete t clock then begin
+    Metrics.Scope.incr t.metrics "discarded_obsolete";
+    if tr_on t then tr_emit ~clock t (Trace.Drop_obsolete { uid; src })
+  end
+  else begin
+    if tr_on t then tr_emit ~clock t (Trace.Deliver { uid; src });
+    deliver_now t ~src ~clock data
+  end
 
 let inject t data =
   if t.alive then
@@ -264,8 +308,13 @@ let handle_wire t (env : 'm wire Network.envelope) =
   | W_app { data; clock; sender; uid } -> receive_app t ~src:sender ~clock ~uid data
   | W_ann a -> receive_announcement t a
 
-let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ~next_uid ()
+let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ?metrics ~next_uid ()
     =
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None -> Metrics.Scope.create ~protocol:"strom-yemini" ~process:pid ()
+  in
   let t =
     {
       pid;
@@ -283,7 +332,7 @@ let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ~next_uid ()
       log = Message_log.create ();
       checkpoints = Checkpoint_store.create ();
       announcements = [];
-      counters = Counters.create ();
+      metrics;
     }
   in
   Network.set_handler net pid (fun env -> handle_wire t env);

@@ -1,6 +1,8 @@
 module Engine = Optimist_sim.Engine
 module Network = Optimist_net.Network
 module Counters = Optimist_util.Stats.Counters
+module Metrics = Optimist_obs.Metrics
+module Trace = Optimist_obs.Trace
 module Types = Optimist_core.Types
 module System = Optimist_core.System
 module Process = Optimist_core.Process
@@ -60,6 +62,7 @@ type params = {
   faults : Schedule.fault list;
   ordering : Network.ordering;
   with_oracle : bool;
+  trace : Trace.t;
 }
 
 let default_params =
@@ -74,6 +77,7 @@ let default_params =
     faults = [];
     ordering = Network.Reorder;
     with_oracle = false;
+    trace = Trace.null;
   }
 
 type report = {
@@ -86,6 +90,7 @@ type report = {
   r_virtual_end : float;
   r_oracle_stats : (int * int * int) option;
   r_violations : string list;
+  r_registry : Metrics.registry;
 }
 
 let counter r name =
@@ -118,9 +123,10 @@ let run_damani params ~hold =
   let tracer = Option.map Oracle.tracer oracle in
   let config = { Types.default_config with Types.hold_undeliverable = hold } in
   let app = Traffic.app ~n:params.n params.pattern in
+  let registry = Metrics.registry () in
   let sys =
     System.create ~seed:params.seed ~net_config:(net_config params) ~config
-      ?tracer ~n:params.n ~app ()
+      ?tracer ~trace:params.trace ~registry ~n:params.n ~app ()
   in
   let schedule = Schedule.make ~injections:(injections params) ~faults:params.faults in
   Schedule.apply schedule
@@ -156,6 +162,7 @@ let run_damani params ~hold =
           List.map
             (fun v -> v.Oracle.check ^ ": " ^ v.Oracle.detail)
             (Oracle.check o));
+    r_registry = registry;
   }
 
 (* Generic driver for the baselines, which share the same surface. *)
@@ -167,18 +174,24 @@ let run_baseline (type w t) params ~name
        app:(Traffic.state, Traffic.msg) Types.app ->
        id:int ->
        n:int ->
+       metrics:Metrics.Scope.t ->
        next_uid:(unit -> int) ->
        unit ->
        t) ~(inject : t -> Traffic.msg -> unit) ~(fail : t -> unit)
-    ~(counters : t -> Counters.t) ~(state : t -> Traffic.state) =
+    ~(state : t -> Traffic.state) =
   let engine = Engine.create ~seed:params.seed () in
+  Engine.set_tracer engine params.trace;
   let net = make_net engine (net_config params) in
+  let registry = Metrics.registry () in
   let uid = ref 0 in
   let next_uid () = incr uid; !uid in
   let app = Traffic.app ~n:params.n params.pattern in
   let procs =
     Array.init params.n (fun id ->
-        create ~engine ~net ~app ~id ~n:params.n ~next_uid ())
+        let metrics =
+          Metrics.Scope.create ~registry ~protocol:name ~process:id ()
+        in
+        create ~engine ~net ~app ~id ~n:params.n ~metrics ~next_uid ())
   in
   let schedule = Schedule.make ~injections:(injections params) ~faults:params.faults in
   Schedule.apply schedule
@@ -192,14 +205,14 @@ let run_baseline (type w t) params ~name
   {
     r_protocol = name;
     r_params = params;
-    r_counters =
-      merge_counters (Array.to_list (Array.map (fun p -> Counters.to_list (counters p)) procs));
+    r_counters = Metrics.totals registry;
     r_net = [];
     r_digests = Array.to_list (Array.map (fun p -> Traffic.digest (state p)) procs);
     r_events = Engine.events_fired engine;
     r_virtual_end = Engine.now engine;
     r_oracle_stats = None;
     r_violations = [];
+    r_registry = registry;
   }
 
 let run params =
@@ -209,45 +222,45 @@ let run params =
   | Pessimistic ->
       run_baseline params ~name:(protocol_name Pessimistic)
         ~make_net:Pessimistic.make_net
-        ~create:(fun ~engine ~net ~app ~id ~n ~next_uid () ->
-          Pessimistic.create ~engine ~net ~app ~id ~n ~next_uid ())
+        ~create:(fun ~engine ~net ~app ~id ~n ~metrics ~next_uid () ->
+          Pessimistic.create ~engine ~net ~app ~id ~n ~metrics ~next_uid ())
         ~inject:Pessimistic.inject ~fail:Pessimistic.fail
-        ~counters:Pessimistic.counters ~state:Pessimistic.state
+        ~state:Pessimistic.state
   | Sender_based ->
       run_baseline params ~name:(protocol_name Sender_based)
         ~make_net:Sender_based.make_net
-        ~create:(fun ~engine ~net ~app ~id ~n ~next_uid () ->
-          Sender_based.create ~engine ~net ~app ~id ~n ~next_uid ())
+        ~create:(fun ~engine ~net ~app ~id ~n ~metrics ~next_uid () ->
+          Sender_based.create ~engine ~net ~app ~id ~n ~metrics ~next_uid ())
         ~inject:Sender_based.inject ~fail:Sender_based.fail
-        ~counters:Sender_based.counters ~state:Sender_based.state
+        ~state:Sender_based.state
   | Strom_yemini ->
       run_baseline params ~name:(protocol_name Strom_yemini)
         ~make_net:Strom_yemini.make_net
-        ~create:(fun ~engine ~net ~app ~id ~n ~next_uid () ->
-          Strom_yemini.create ~engine ~net ~app ~id ~n ~next_uid ())
+        ~create:(fun ~engine ~net ~app ~id ~n ~metrics ~next_uid () ->
+          Strom_yemini.create ~engine ~net ~app ~id ~n ~metrics ~next_uid ())
         ~inject:Strom_yemini.inject ~fail:Strom_yemini.fail
-        ~counters:Strom_yemini.counters ~state:Strom_yemini.state
+        ~state:Strom_yemini.state
   | Peterson_kearns ->
       run_baseline params ~name:(protocol_name Peterson_kearns)
         ~make_net:Peterson_kearns.make_net
-        ~create:(fun ~engine ~net ~app ~id ~n ~next_uid () ->
-          Peterson_kearns.create ~engine ~net ~app ~id ~n ~next_uid ())
+        ~create:(fun ~engine ~net ~app ~id ~n ~metrics ~next_uid () ->
+          Peterson_kearns.create ~engine ~net ~app ~id ~n ~metrics ~next_uid ())
         ~inject:Peterson_kearns.inject ~fail:Peterson_kearns.fail
-        ~counters:Peterson_kearns.counters ~state:Peterson_kearns.state
+        ~state:Peterson_kearns.state
   | Checkpoint_only ->
       run_baseline params ~name:(protocol_name Checkpoint_only)
         ~make_net:Checkpoint_only.make_net
-        ~create:(fun ~engine ~net ~app ~id ~n ~next_uid () ->
-          Checkpoint_only.create ~engine ~net ~app ~id ~n ~next_uid ())
+        ~create:(fun ~engine ~net ~app ~id ~n ~metrics ~next_uid () ->
+          Checkpoint_only.create ~engine ~net ~app ~id ~n ~metrics ~next_uid ())
         ~inject:Checkpoint_only.inject ~fail:Checkpoint_only.fail
-        ~counters:Checkpoint_only.counters ~state:Checkpoint_only.state
+        ~state:Checkpoint_only.state
   | Coordinated ->
       run_baseline params ~name:(protocol_name Coordinated)
         ~make_net:Coordinated.make_net
-        ~create:(fun ~engine ~net ~app ~id ~n ~next_uid () ->
-          Coordinated.create ~engine ~net ~app ~id ~n ~next_uid ())
+        ~create:(fun ~engine ~net ~app ~id ~n ~metrics ~next_uid () ->
+          Coordinated.create ~engine ~net ~app ~id ~n ~metrics ~next_uid ())
         ~inject:Coordinated.inject ~fail:Coordinated.fail
-        ~counters:Coordinated.counters ~state:Coordinated.state
+        ~state:Coordinated.state
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>protocol: %s@,events: %d  virtual end: %.1f@," r.r_protocol

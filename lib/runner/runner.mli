@@ -4,6 +4,8 @@
     EXPERIMENTS.md out of these reports. *)
 
 module Network = Optimist_net.Network
+module Metrics = Optimist_obs.Metrics
+module Trace = Optimist_obs.Trace
 module Schedule = Optimist_workload.Schedule
 module Traffic = Optimist_workload.Traffic
 
@@ -35,6 +37,9 @@ type params = {
   ordering : Network.ordering;
   with_oracle : bool;
       (** attach the ground-truth oracle (Damani-garg variants only) *)
+  trace : Trace.t;
+      (** structured-trace recorder installed on the engine; defaults to
+          {!Trace.null} (no events, one boolean check per site) *)
 }
 
 val default_params : params
@@ -49,6 +54,8 @@ type report = {
   r_virtual_end : float;  (** virtual time at quiescence *)
   r_oracle_stats : (int * int * int) option;  (** live, lost, discarded *)
   r_violations : string list;  (** oracle check failures (empty = clean) *)
+  r_registry : Metrics.registry;
+      (** per-process metric scopes, labelled [(protocol, pid)] *)
 }
 
 val counter : report -> string -> int

@@ -1,5 +1,6 @@
 module Prng = Optimist_util.Prng
 module Heap = Optimist_util.Heap
+module Trace = Optimist_obs.Trace
 
 type time = float
 
@@ -20,6 +21,7 @@ type t = {
   mutable live_work : int; (* pending non-daemon, non-cancelled events *)
   queue : (key, event) Heap.t;
   rng : Prng.t;
+  mutable tracer : Trace.t;
 }
 
 let compare_key a b =
@@ -34,11 +36,16 @@ let create ?(seed = 1L) () =
     live_work = 0;
     queue = Heap.create ~cmp:compare_key ();
     rng = Prng.create seed;
+    tracer = Trace.null;
   }
 
 let now t = t.clock
 
 let rng t = t.rng
+
+let tracer t = t.tracer
+
+let set_tracer t tr = t.tracer <- tr
 
 let schedule_at t ?(daemon = false) at action =
   if at < t.clock then
@@ -65,7 +72,9 @@ let step t =
   match Heap.pop t.queue with
   | None -> false
   | Some (key, ev) ->
-      t.clock <- key.at;
+      (* [run ~until] may already have advanced the clock past a stale
+         daemon event's timestamp; never move time backwards. *)
+      t.clock <- Float.max t.clock key.at;
       if not ev.cancelled then begin
         if not ev.daemon then t.live_work <- t.live_work - 1;
         t.fired <- t.fired + 1;
@@ -88,7 +97,12 @@ let run ?until ?(max_events = 50_000_000) t =
               ignore (step t);
               decr budget)
   done;
-  if !budget = 0 then failwith "Engine.run: event budget exhausted"
+  if !budget = 0 then failwith "Engine.run: event budget exhausted";
+  (* A horizon stop leaves [now] at the requested end time, so callers
+     measuring elapsed virtual time see the full interval they asked for. *)
+  match until with
+  | Some horizon when t.clock < horizon -> t.clock <- horizon
+  | _ -> ()
 
 let pending t = Heap.length t.queue
 

@@ -26,6 +26,16 @@ val rng : t -> Optimist_util.Prng.t
 (** The engine's root PRNG. Components should [Prng.split] their own
     stream from it at setup time. *)
 
+val tracer : t -> Optimist_obs.Trace.t
+(** The trace recorder shared by everything built over this engine
+    (network, processes, protocols). [Trace.null] unless
+    {!set_tracer} was called — i.e. tracing is off by default and the
+    instrumented hot paths pay only a [Trace.enabled] check. *)
+
+val set_tracer : t -> Optimist_obs.Trace.t -> unit
+(** Install a recorder. Call before constructing the model so every
+    component picks it up. *)
+
 val schedule : t -> ?daemon:bool -> delay:time -> (unit -> unit) -> cancel
 (** [schedule t ~delay f] runs [f] at [now t +. delay]. [delay] must be
     non-negative. Returns a cancellation handle.
@@ -46,7 +56,13 @@ val run : ?until:time -> ?max_events:int -> t -> unit
 (** Drain the event queue. Stops when no non-daemon events remain, when
     virtual time would exceed [until], or after [max_events] events (a
     runaway guard; default 50 million). Events at exactly [until] still
-    fire. *)
+    fire.
+
+    When [until] is given and the run stops with the clock still behind
+    it, the clock is advanced to [until], so [now] afterwards reflects
+    the requested end time even if the model went quiet first. Daemon
+    events left queued before the horizon still fire (at the advanced
+    clock) if the simulation is resumed. *)
 
 val step : t -> bool
 (** Fire the single next event; [false] when the queue is empty. *)

@@ -9,7 +9,7 @@ module Summary = struct
   }
 
   let create () =
-    { count = 0; total = 0.0; mean = 0.0; m2 = 0.0; min = nan; max = nan }
+    { count = 0; total = 0.0; mean = 0.0; m2 = 0.0; min = 0.0; max = 0.0 }
 
   (* Welford's online algorithm keeps the variance numerically stable for
      long runs. *)
@@ -37,8 +37,10 @@ module Summary = struct
   let max t = t.max
 
   let pp ppf t =
-    Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.count
-      (mean t) (stddev t) t.min t.max
+    if t.count = 0 then Format.fprintf ppf "n=0"
+    else
+      Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.count
+        (mean t) (stddev t) t.min t.max
 end
 
 module Histogram = struct

@@ -21,12 +21,13 @@ module Summary : sig
 
   val stddev : t -> float
   val min : t -> float
-  (** [nan] when empty. *)
+  (** 0 when empty. *)
 
   val max : t -> float
-  (** [nan] when empty. *)
+  (** 0 when empty. *)
 
   val pp : Format.formatter -> t -> unit
+  (** Prints just ["n=0"] for an empty summary. *)
 end
 
 module Histogram : sig

@@ -18,4 +18,5 @@ let () =
       ("process", Test_process.suite);
       ("workload", Test_workload.suite);
       ("system", Test_system.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -10,6 +10,9 @@ module Process = Optimist_core.Process
 module System = Optimist_core.System
 module Oracle = Optimist_oracle.Oracle
 
+let cget dump name =
+  match List.assoc_opt name dump with Some v -> v | None -> 0
+
 type msg = { tag : string; route : (int * string) list }
 
 (* Scripted app: a message carries the remaining route; each delivery pops
@@ -78,9 +81,7 @@ let test_no_hold_when_token_known () =
   System.inject_at sys ~at:21.0 ~pid:1 { tag = "go"; route = [ (2, "from-v1") ] };
   System.run sys;
   Alcotest.(check int) "never held" 0
-    (Optimist_util.Stats.Counters.get
-       (Process.counters (System.process sys 2))
-       "held");
+    (cget (Process.counters (System.process sys 2)) "held");
   Alcotest.(check (list string)) "delivered" [ "from-v1" ] (received sys 2)
 
 (* --- version accessor and token content --- *)
@@ -93,9 +94,7 @@ let test_version_and_token () =
   Alcotest.(check int) "two incarnations" 2 (Process.version (System.process sys 0));
   (* Peers saw both tokens. *)
   Alcotest.(check int) "tokens at P1" 2
-    (Optimist_util.Stats.Counters.get
-       (Process.counters (System.process sys 1))
-       "tokens_received")
+    (cget (Process.counters (System.process sys 1)) "tokens_received")
 
 (* --- a rollback that crosses the process's own restart point --- *)
 
@@ -123,7 +122,7 @@ let test_rollback_crossing_restart () =
   Alcotest.(check (list string)) "dependency rolled away" [] (received sys 0);
   Alcotest.(check int) "incarnation kept" 1 (Process.version p0);
   Alcotest.(check int) "one rollback" 1
-    (Optimist_util.Stats.Counters.get (Process.counters p0) "rollbacks");
+    (cget (Process.counters p0) "rollbacks");
   Alcotest.(check string) "oracle clean" ""
     (String.concat ";"
        (List.map (fun v -> v.Oracle.check) (Oracle.check oracle)))
@@ -147,7 +146,7 @@ let test_checkpoint_now () =
   Alcotest.(check (list string)) "state restored" [ "a"; "b"; "c" ] (received sys 0);
   (* Only "c" (after the forced checkpoint) was replayed. *)
   Alcotest.(check int) "replay shortened" 1
-    (Optimist_util.Stats.Counters.get (Process.counters p0) "replayed")
+    (cget (Process.counters p0) "replayed")
 
 (* --- ablation: without synchronous token logging, a crash can forget a
    token it acted on, and the replayed computation re-accepts dependencies

@@ -147,7 +147,11 @@ let test_summary_known () =
 let test_summary_empty () =
   let s = Stats.Summary.create () in
   Alcotest.(check (float 0.0)) "mean of empty" 0.0 (Stats.Summary.mean s);
-  Alcotest.(check (float 0.0)) "variance of empty" 0.0 (Stats.Summary.variance s)
+  Alcotest.(check (float 0.0)) "variance of empty" 0.0 (Stats.Summary.variance s);
+  Alcotest.(check (float 0.0)) "min of empty" 0.0 (Stats.Summary.min s);
+  Alcotest.(check (float 0.0)) "max of empty" 0.0 (Stats.Summary.max s);
+  Alcotest.(check string) "pp of empty" "n=0"
+    (Format.asprintf "%a" Stats.Summary.pp s)
 
 let prop_summary_mean_bounds =
   QCheck.Test.make ~name:"mean within min..max" ~count:300
