@@ -10,11 +10,15 @@
      dune exec bin/recsim.exe -- run --failures 2 --trace out.json \
        --trace-format chrome   # load in Perfetto / about://tracing
      dune exec bin/recsim.exe -- trace out.jsonl --pid 1 --kind rollback
+     dune exec bin/recsim.exe -- run --failures 2 --check        # sanitize live
+     dune exec bin/recsim.exe -- check out.jsonl --strict       # lint a trace
      dune exec bin/recsim.exe -- compare -n 6 --failures 3
      dune exec bin/recsim.exe -- list *)
 
 module Runner = Optimist_runner.Runner
 module Trace = Optimist_obs.Trace
+module Json = Optimist_obs.Json
+module Check = Optimist_check.Check
 module Schedule = Optimist_workload.Schedule
 module Traffic = Optimist_workload.Traffic
 module Network = Optimist_net.Network
@@ -110,8 +114,8 @@ let pattern_arg =
     & info [ "pattern" ] ~docv:"PATTERN"
         ~doc:"Workload: uniform, ring, pipeline, client-server:<servers>.")
 
-let make_params ?(trace = Trace.null) protocol n seed rate duration hops
-    failures fifo oracle pattern =
+let make_params ?(trace = Trace.null) ?(check = Runner.No_check) protocol n
+    seed rate duration hops failures fifo oracle pattern =
   let faults =
     if failures = 0 then []
     else
@@ -132,6 +136,7 @@ let make_params ?(trace = Trace.null) protocol n seed rate duration hops
     ordering = (if fifo then Network.Fifo else Network.Reorder);
     with_oracle = oracle;
     trace;
+    check;
   }
 
 (* Build a recorder writing to [path] (if given), run [f] with it, and
@@ -179,6 +184,19 @@ let trace_format_arg =
            `recsim trace') or $(b,chrome) (trace_event JSON, loadable in \
            Perfetto / about://tracing).")
 
+let check_mode_arg =
+  Arg.(
+    value
+    & opt
+        ~vopt:(Some `On)
+        (some (enum [ ("on", `On); ("strict", `Strict) ]))
+        None
+    & info [ "check" ] ~docv:"MODE"
+        ~doc:
+          "Attach the online protocol sanitizer (optimist.check) to the run. \
+           Violations are printed and fail the run; with $(b,--check=strict) \
+           warnings fail it too.")
+
 let run_cmd =
   let protocol_arg =
     Arg.(
@@ -187,22 +205,35 @@ let run_cmd =
       & info [ "protocol"; "p" ] ~docv:"PROTOCOL" ~doc:"Protocol to run.")
   in
   let action protocol n seed rate duration hops failures fifo oracle pattern
-      trace_file trace_format =
+      trace_file trace_format check_mode =
+    let check =
+      match check_mode with
+      | None -> Runner.No_check
+      | Some `On -> Runner.Check
+      | Some `Strict -> Runner.Check_strict
+    in
     let report =
       with_recorder trace_file trace_format (fun trace ->
           Runner.run
-            (make_params ~trace protocol n seed rate duration hops failures
-               fifo oracle pattern))
+            (make_params ~trace ~check protocol n seed rate duration hops
+               failures fifo oracle pattern))
     in
     Format.printf "%a@." Runner.pp_report report;
-    if report.Runner.r_violations <> [] then exit 1
+    let check_failed =
+      let strict = check = Runner.Check_strict in
+      List.exists
+        (fun (v : Check.violation) ->
+          strict || v.rule.Check.severity = Check.Error)
+        report.Runner.r_check
+    in
+    if report.Runner.r_violations <> [] || check_failed then exit 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one protocol and print its metrics.")
     Term.(
       const action $ protocol_arg $ n_arg $ seed_arg $ rate_arg $ duration_arg
       $ hops_arg $ failures_arg $ fifo_arg $ oracle_arg $ pattern_arg
-      $ trace_file_arg $ trace_format_arg)
+      $ trace_file_arg $ trace_format_arg $ check_mode_arg)
 
 (* --- trace --- *)
 
@@ -228,35 +259,114 @@ let trace_cmd =
           ~doc:"Only events of this kind (e.g. rollback, drop_obsolete).")
   in
   let action file pid kind =
-    let ic = open_in file in
     let errors = ref 0 in
-    (try
-       let lineno = ref 0 in
-       while true do
-         let line = input_line ic in
-         incr lineno;
-         if String.trim line <> "" then
-           match Trace.of_line line with
-           | Error msg ->
-               incr errors;
-               Printf.eprintf "%s:%d: %s\n" file !lineno msg
-           | Ok e ->
-               let keep =
-                 (match pid with Some p -> e.Trace.pid = p | None -> true)
-                 && match kind with
-                    | Some k -> Trace.kind_name e.Trace.kind = k
-                    | None -> true
-               in
-               if keep then Format.printf "%a@." Trace.pp_event e
-       done
-     with End_of_file -> ());
-    close_in ic;
+    Trace.iter_file file ~f:(fun ~line res ->
+        match res with
+        | Error msg ->
+            incr errors;
+            Printf.eprintf "%s:%d: %s\n" file line msg
+        | Ok e ->
+            let keep =
+              (match pid with Some p -> e.Trace.pid = p | None -> true)
+              && match kind with
+                 | Some k -> Trace.kind_name e.Trace.kind = k
+                 | None -> true
+            in
+            if keep then Format.printf "%a@." Trace.pp_event e);
     if !errors > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Pretty-print a JSONL trace, optionally filtered.")
     Term.(const action $ file_arg $ pid_arg $ kind_arg)
+
+(* --- check --- *)
+
+let check_cmd =
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace written by `recsim run --trace'.")
+  in
+  let strict_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "strict" ]
+          ~doc:"Exit non-zero on warnings and unparsable lines too.")
+  in
+  let rule_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "rule" ] ~docv:"RULE"
+          ~doc:
+            "Check only $(docv) (repeatable; a rule id like $(b,OPT005) or \
+             its slug like $(b,clock-monotonic)). Default: every offline \
+             rule.")
+  in
+  let ignore_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "ignore" ] ~docv:"RULE"
+          ~doc:"Skip $(docv) (repeatable; wins over $(b,--rule)).")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Report format: $(b,human) or $(b,json).")
+  in
+  let list_rules_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "list-rules" ] ~doc:"List every rule id and exit.")
+  in
+  let action file strict only ignore format list_rules =
+    if list_rules then
+      List.iter
+        (fun (r : Check.rule) ->
+          Printf.printf "%s  %-22s %-7s  %s\n" r.Check.id r.Check.slug
+            (match r.Check.severity with
+            | Check.Error -> "error"
+            | Check.Warning -> "warning")
+            r.Check.doc)
+        Check.rules
+    else
+      match file with
+      | None ->
+          prerr_endline "recsim check: a trace FILE is required";
+          exit 2
+      | Some file -> (
+          match Check.Lint.run ~only ~ignore file with
+          | Error msg ->
+              Printf.eprintf "recsim check: %s\n" msg;
+              exit 2
+          | Ok report ->
+              (match format with
+              | `Human -> Format.printf "%a@?" Check.Lint.pp_human report
+              | `Json ->
+                  print_endline (Json.to_string (Check.Lint.to_json report)));
+              let failed =
+                Check.Lint.errors report > 0
+                || strict
+                   && (Check.Lint.warnings report > 0
+                      || report.Check.Lint.parse_errors > 0)
+              in
+              if failed then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Lint a recorded JSONL trace against the protocol invariants \
+          (no re-execution).")
+    Term.(
+      const action $ file_arg $ strict_arg $ rule_arg $ ignore_arg
+      $ format_arg $ list_rules_arg)
 
 (* --- compare --- *)
 
@@ -332,4 +442,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "recsim" ~doc)
-          [ run_cmd; trace_cmd; compare_cmd; list_cmd ]))
+          [ run_cmd; trace_cmd; check_cmd; compare_cmd; list_cmd ]))

@@ -1,0 +1,662 @@
+module Trace = Optimist_obs.Trace
+module Json = Optimist_obs.Json
+module Ftvc = Optimist_clock.Ftvc
+
+(* --- rules --- *)
+
+type severity = Error | Warning
+
+type rule = {
+  id : string;
+  slug : string;
+  severity : severity;
+  reference : string;
+  doc : string;
+  online_only : bool;
+}
+
+let mk ?(severity = Error) ?(online_only = false) id slug reference doc =
+  { id; slug; severity; reference; doc; online_only }
+
+let rules =
+  [
+    mk "OPT001" "trace-schema" "optimist.obs trace format"
+      "every line decodes as a trace event and all FTVC stamps share one \
+       width";
+    mk "OPT002" "send-deliver-pairing" "Section 3 (system model)"
+      "every delivered or discarded message was previously sent to that \
+       process by that sender";
+    mk "OPT003" "duplicate-delivery" "Section 3 (reliable FIFO channels)"
+      "no message is delivered twice at a process within one \
+       incarnation/rollback span";
+    mk "OPT004" "piggyback-integrity" "Section 5 (piggybacked clocks)"
+      "a delivery carries exactly the clock the matching send piggybacked";
+    mk "OPT005" "clock-monotonic" "Section 4, Figure 2"
+      "a process's own FTVC never decreases between failure/rollback \
+       boundaries";
+    mk "OPT006" "incarnation-order" "Section 4 (version numbers)"
+      "incarnation numbers never decrease, and each restart advances the \
+       failed incarnation";
+    mk "OPT007" "restart-pairing" "Section 6.1"
+      "every restart answers a pending failure of that process";
+    mk "OPT008" "missed-obsolete" "Lemma 4, Section 5"
+      "no delivered message depends on a rolled-back interval announced by a \
+       token the receiver holds";
+    mk "OPT009" "unjustified-discard" "Lemma 4, Section 5"
+      "every obsolete discard is justified by a token the receiver could hold";
+    mk "OPT010" "orphan-exactness" "Lemma 3, Section 5"
+      "every orphan detection is justified by knowledge the process could \
+       have acquired";
+    mk "OPT011" "rollback-bound" "Section 6 (at-most-one rollback)"
+      "each process rolls back at most once per failure token, and only \
+       after detecting an orphan";
+    mk "OPT012" "output-commit-safety" "Section 6.5"
+      "no committed output is orphaned by any failure token in the whole \
+       trace";
+    mk ~severity:Warning "OPT013" "checkpoint-stability" "Section 6.3"
+      "checkpoints only cover log prefixes already on stable storage";
+    mk ~online_only:true "OPT014" "oracle-agreement" "lib/oracle ground truth"
+      "the monitor's failure and rollback counts match the oracle's global \
+       timeline";
+  ]
+
+let all_ids = List.map (fun r -> r.id) rules
+
+let offline_ids =
+  List.filter_map (fun r -> if r.online_only then None else Some r.id) rules
+
+let find_rule name =
+  let needle = String.lowercase_ascii name in
+  List.find_opt
+    (fun r -> String.lowercase_ascii r.id = needle || r.slug = needle)
+    rules
+
+(* --- clock comparison --- *)
+
+let clock_leq a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i ea -> if not (Ftvc.entry_leq ea b.(i)) then ok := false) a;
+  !ok
+
+let clock_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i (ea : Ftvc.entry) ->
+      let eb : Ftvc.entry = b.(i) in
+      if ea.ver <> eb.ver || ea.ts <> eb.ts then ok := false)
+    a;
+  !ok
+
+let clock_str c =
+  let b = Buffer.create 32 in
+  Buffer.add_char b '[';
+  Array.iteri
+    (fun i (e : Ftvc.entry) ->
+      if i > 0 then Buffer.add_char b ' ';
+      Buffer.add_string b (Printf.sprintf "%d.%d" e.ver e.ts))
+    c;
+  Buffer.add_char b ']';
+  Buffer.contents b
+
+(* --- violations --- *)
+
+type violation = {
+  rule : rule;
+  line : int option;
+  at : float;
+  pid : int;
+  ver : int;
+  message : string;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let pp_violation ppf v =
+  (match v.line with
+  | Some l -> Format.fprintf ppf "line %d: " l
+  | None -> ());
+  Format.fprintf ppf "[%s] %s at t=%.3f p%d/v%d: %s (%s; %s)" v.rule.id
+    v.rule.slug v.at v.pid v.ver v.message
+    (severity_name v.rule.severity)
+    v.rule.reference
+
+let violation_to_json v =
+  Json.Obj
+    ((match v.line with Some l -> [ ("line", Json.Int l) ] | None -> [])
+    @ [
+        ("rule", Json.String v.rule.id);
+        ("slug", Json.String v.rule.slug);
+        ("severity", Json.String (severity_name v.rule.severity));
+        ("reference", Json.String v.rule.reference);
+        ("at", Json.Float v.at);
+        ("pid", Json.Int v.pid);
+        ("ver", Json.Int v.ver);
+        ("message", Json.String v.message);
+      ])
+
+(* --- the streaming rule engine --- *)
+
+module Monitor = struct
+  type send_info = { spid : int; sdst : int; sclock : Ftvc.entry array }
+
+  (* Per-process reconstructed state. The token tables come in two
+     flavours because the trace cannot tell us whether a token survived
+     a crash of its holder (that depends on the synchronous-logging
+     config): [tokens_lo] forgets tokens not yet covered by a
+     checkpoint when the holder fails — a lower bound on what any
+     post-crash incarnation still knows, sound for accusing a missed
+     discard (OPT008) — while [tokens_hi] never forgets — an upper
+     bound, sound for accusing an unjustified discard (OPT009). *)
+  type pstate = {
+    p : int;
+    mutable cur_ver : int; (* -1 until the first event *)
+    mutable pending_failure : bool;
+    mutable failure_ver : int;
+    mutable last_sample : Ftvc.entry array option;
+    mutable last_stable : int;
+    delivered : (int, unit) Hashtbl.t;
+    tokens_lo : (int * int, int * bool) Hashtbl.t; (* (origin,ver) -> ts, stable *)
+    tokens_hi : (int * int, int) Hashtbl.t;
+    knowledge : (int * int, int) Hashtbl.t; (* (owner,ver) -> max ts seen *)
+    mutable last_orphan : (int * int * int) option;
+    mutable rollbacks : int;
+  }
+
+  type commit = {
+    c_line : int option;
+    c_at : float;
+    c_pid : int;
+    c_ver : int;
+    c_seq : int;
+    c_clock : Ftvc.entry array;
+  }
+
+  type t = {
+    enabled : (string, unit) Hashtbl.t;
+    procs : (int, pstate) Hashtbl.t;
+    sends : (int, send_info) Hashtbl.t;
+    all_tokens : (int * int, int) Hashtbl.t;
+    rollback_count : (int * int * int * int, int) Hashtbl.t;
+    mutable commits : commit list; (* reversed *)
+    mutable width : int; (* -1 until the first non-empty clock *)
+    mutable events : int;
+    mutable nfailures : int;
+    mutable viols : violation list; (* reversed *)
+    mutable finished : bool;
+  }
+
+  let create ?(rules = all_ids) () =
+    let enabled = Hashtbl.create 16 in
+    List.iter
+      (fun name ->
+        match find_rule name with
+        | Some r -> Hashtbl.replace enabled r.id ()
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Check.Monitor.create: unknown rule %S" name))
+      rules;
+    {
+      enabled;
+      procs = Hashtbl.create 16;
+      sends = Hashtbl.create 1024;
+      all_tokens = Hashtbl.create 16;
+      rollback_count = Hashtbl.create 16;
+      commits = [];
+      width = -1;
+      events = 0;
+      nfailures = 0;
+      viols = [];
+      finished = false;
+    }
+
+  let viol t ?line ~at ~pid ~ver id message =
+    if Hashtbl.mem t.enabled id then
+      match find_rule id with
+      | None -> ()
+      | Some rule -> t.viols <- { rule; line; at; pid; ver; message } :: t.viols
+
+  let pstate t pid =
+    match Hashtbl.find_opt t.procs pid with
+    | Some st -> st
+    | None ->
+        let st =
+          {
+            p = pid;
+            cur_ver = -1;
+            pending_failure = false;
+            failure_ver = 0;
+            last_sample = None;
+            last_stable = 0;
+            delivered = Hashtbl.create 64;
+            tokens_lo = Hashtbl.create 16;
+            tokens_hi = Hashtbl.create 16;
+            knowledge = Hashtbl.create 64;
+            last_orphan = None;
+            rollbacks = 0;
+          }
+        in
+        Hashtbl.add t.procs pid st;
+        st
+
+  (* Knowledge any incarnation of [st.p] could have of (owner, ver):
+     the max timestamp over delivered clocks, seeded with the initial
+     history records — (Message, 0, 0) for everyone, (Message, 0, 1)
+     for the process's own component (Section 5). *)
+  let knowledge_of st ~owner ~ver =
+    match Hashtbl.find_opt st.knowledge (owner, ver) with
+    | Some ts -> Some ts
+    | None -> if ver = 0 then Some (if owner = st.p then 1 else 0) else None
+
+  let learn st ~owner ~ver ~ts =
+    match knowledge_of st ~owner ~ver with
+    | Some k when k >= ts -> ()
+    | _ -> Hashtbl.replace st.knowledge (owner, ver) ts
+
+  (* A rollback for token (owner, ver, ts) discards every state that
+     depended past ts, so the surviving history records about that
+     incarnation are clamped back to the token's timestamp. *)
+  let clamp st ~owner ~ver ~ts =
+    match knowledge_of st ~owner ~ver with
+    | Some k when k > ts -> Hashtbl.replace st.knowledge (owner, ver) ts
+    | _ -> ()
+
+  let note_token t st ~origin ~ver ~ts =
+    let key = (origin, ver) in
+    Hashtbl.replace st.tokens_hi key ts;
+    if not (Hashtbl.mem st.tokens_lo key) then
+      Hashtbl.replace st.tokens_lo key (ts, false);
+    Hashtbl.replace t.all_tokens key ts
+
+  let stabilize_tokens st =
+    Hashtbl.filter_map_inplace (fun _ (ts, _) -> Some (ts, true)) st.tokens_lo
+
+  let prune_unstable_tokens st =
+    Hashtbl.filter_map_inplace
+      (fun _ ((_, stable) as v) -> if stable then Some v else None)
+      st.tokens_lo
+
+  (* Failure/restart/rollback are discontinuities in a process's state:
+     the clock may legitimately step backwards and the surviving log
+     suffix may be re-offered for delivery, so per-span rule state
+     resets here. *)
+  let span_boundary st =
+    Hashtbl.reset st.delivered;
+    st.last_sample <- None
+
+  let check_width t ?line (ev : Trace.event) =
+    let w = Array.length ev.clock in
+    if w > 0 then
+      if t.width < 0 then t.width <- w
+      else if w <> t.width then
+        viol t ?line ~at:ev.at ~pid:ev.pid ~ver:ev.ver "OPT001"
+          (Printf.sprintf "FTVC stamp has width %d but the trace's width is %d"
+             w t.width)
+
+  let own_sample t ?line st (ev : Trace.event) =
+    if Array.length ev.clock > 0 then begin
+      (match st.last_sample with
+      | Some prev when not (clock_leq prev ev.clock) ->
+          viol t ?line ~at:ev.at ~pid:ev.pid ~ver:ev.ver "OPT005"
+            (Printf.sprintf "own clock regressed: %s after %s"
+               (clock_str ev.clock) (clock_str prev))
+      | _ -> ());
+      st.last_sample <- Some ev.clock
+    end
+
+  let feed ?line t (ev : Trace.event) =
+    t.events <- t.events + 1;
+    match ev.kind with
+    | Trace.Custom _ -> () (* engine/network noise: no pid/ver guarantees *)
+    | kind ->
+        let st = pstate t ev.pid in
+        let flag id msg = viol t ?line ~at:ev.at ~pid:ev.pid ~ver:ev.ver id msg in
+        check_width t ?line ev;
+        (match kind with
+        | Trace.Rollback _ -> ()
+        (* A rollback that crosses the process's own restart point
+           legitimately reports the restored, older incarnation. *)
+        | _ ->
+            if st.cur_ver >= 0 && ev.ver < st.cur_ver then
+              flag "OPT006"
+                (Printf.sprintf "incarnation went backwards: v%d after v%d"
+                   ev.ver st.cur_ver));
+        (match kind with
+        | Trace.Send { uid; dst } ->
+            Hashtbl.replace t.sends uid
+              { spid = ev.pid; sdst = dst; sclock = ev.clock };
+            own_sample t ?line st ev
+        | Trace.Deliver { uid; src } ->
+            if uid >= 0 && src >= 0 then begin
+              (match Hashtbl.find_opt t.sends uid with
+              | None ->
+                  flag "OPT002"
+                    (Printf.sprintf "delivery of uid=%d that was never sent"
+                       uid)
+              | Some si ->
+                  if si.spid <> src then
+                    flag "OPT002"
+                      (Printf.sprintf
+                         "uid=%d was sent by p%d but delivered as from p%d" uid
+                         si.spid src)
+                  else if si.sdst <> ev.pid then
+                    flag "OPT002"
+                      (Printf.sprintf
+                         "uid=%d was addressed to p%d but delivered at p%d" uid
+                         si.sdst ev.pid);
+                  if
+                    Array.length ev.clock > 0
+                    && Array.length si.sclock > 0
+                    && not (clock_equal ev.clock si.sclock)
+                  then
+                    flag "OPT004"
+                      (Printf.sprintf
+                         "uid=%d delivered with clock %s but sent with %s" uid
+                         (clock_str ev.clock) (clock_str si.sclock)));
+              if Hashtbl.mem st.delivered uid then
+                flag "OPT003"
+                  (Printf.sprintf
+                     "uid=%d delivered twice within one incarnation" uid)
+              else Hashtbl.replace st.delivered uid ()
+            end;
+            if Array.length ev.clock > 0 then begin
+              Array.iteri
+                (fun j (e : Ftvc.entry) ->
+                  match Hashtbl.find_opt st.tokens_lo (j, e.ver) with
+                  | Some (ts, _) when e.ts > ts ->
+                      flag "OPT008"
+                        (Printf.sprintf
+                           "delivered uid=%d depends on (p%d, v%d) up to \
+                            ts=%d, past held token ts=%d — the obsolete test \
+                            should have discarded it"
+                           uid j e.ver e.ts ts)
+                  | _ -> ())
+                ev.clock;
+              Array.iteri
+                (fun j (e : Ftvc.entry) -> learn st ~owner:j ~ver:e.ver ~ts:e.ts)
+                ev.clock
+            end
+        | Trace.Drop_obsolete { uid; src } ->
+            if uid >= 0 && src >= 0 then begin
+              match Hashtbl.find_opt t.sends uid with
+              | None ->
+                  flag "OPT002"
+                    (Printf.sprintf "discard of uid=%d that was never sent" uid)
+              | Some si ->
+                  if si.spid <> src || si.sdst <> ev.pid then
+                    flag "OPT002"
+                      (Printf.sprintf
+                         "uid=%d discarded at p%d as from p%d but was sent \
+                          p%d -> p%d"
+                         uid ev.pid src si.spid si.sdst)
+            end;
+            if Array.length ev.clock > 0 then begin
+              let justified = ref false in
+              Array.iteri
+                (fun j (e : Ftvc.entry) ->
+                  match Hashtbl.find_opt st.tokens_hi (j, e.ver) with
+                  | Some ts when e.ts > ts -> justified := true
+                  | _ -> ())
+                ev.clock;
+              if not !justified then
+                flag "OPT009"
+                  (Printf.sprintf
+                     "uid=%d discarded as obsolete but no token the receiver \
+                      could hold justifies it (clock %s)"
+                     uid (clock_str ev.clock))
+            end
+        | Trace.Checkpoint { position } ->
+            if position > st.last_stable then
+              flag "OPT013"
+                (Printf.sprintf
+                   "checkpoint covers log position %d but only %d entries are \
+                    stable"
+                   position st.last_stable);
+            own_sample t ?line st ev;
+            stabilize_tokens st
+        | Trace.Log_flush { stable } ->
+            st.last_stable <- max st.last_stable stable;
+            own_sample t ?line st ev
+        | Trace.Failure ->
+            t.nfailures <- t.nfailures + 1;
+            st.pending_failure <- true;
+            st.failure_ver <- ev.ver;
+            span_boundary st;
+            prune_unstable_tokens st
+        | Trace.Restart { new_ver } ->
+            if not st.pending_failure then
+              flag "OPT007" "restart without a preceding failure"
+            else if new_ver <= st.failure_ver then
+              flag "OPT006"
+                (Printf.sprintf
+                   "restart did not advance the incarnation: v%d after \
+                    failing at v%d"
+                   new_ver st.failure_ver);
+            st.pending_failure <- false;
+            span_boundary st
+        | Trace.Token_sent { origin; ver; ts }
+        | Trace.Token_recv { origin; ver; ts } ->
+            note_token t st ~origin ~ver ~ts
+        | Trace.Orphan_detected { origin; ver; ts } ->
+            (match knowledge_of st ~owner:origin ~ver with
+            | Some k when k > ts -> ()
+            | _ ->
+                flag "OPT010"
+                  (Printf.sprintf
+                     "orphan declared against token (p%d, v%d, ts=%d) but no \
+                      acquired knowledge of that incarnation exceeds ts=%d"
+                     origin ver ts ts));
+            st.last_orphan <- Some (origin, ver, ts)
+        | Trace.Rollback _ ->
+            st.rollbacks <- st.rollbacks + 1;
+            (match st.last_orphan with
+            | None -> flag "OPT011" "rollback without a detected orphan"
+            | Some (o, v, ts) ->
+                let key = (ev.pid, o, v, ts) in
+                let c =
+                  1
+                  + Option.value ~default:0
+                      (Hashtbl.find_opt t.rollback_count key)
+                in
+                Hashtbl.replace t.rollback_count key c;
+                if c > 1 then
+                  flag "OPT011"
+                    (Printf.sprintf
+                       "rollback #%d for token (p%d, v%d, ts=%d) — at most \
+                        one rollback per failure"
+                       c o v ts);
+                clamp st ~owner:o ~ver:v ~ts);
+            span_boundary st
+        | Trace.Output_commit { seq } ->
+            t.commits <-
+              {
+                c_line = line;
+                c_at = ev.at;
+                c_pid = ev.pid;
+                c_ver = ev.ver;
+                c_seq = seq;
+                c_clock = ev.clock;
+              }
+              :: t.commits
+        | Trace.Custom _ -> ());
+        st.cur_ver <- ev.ver
+
+  let parse_error t ~line msg =
+    viol t ~line ~at:0.0 ~pid:(-1) ~ver:0 "OPT001"
+      (Printf.sprintf "unparsable trace line: %s" msg)
+
+  let events_seen t = t.events
+
+  let failures t = t.nfailures
+
+  let rollbacks_of t pid =
+    match Hashtbl.find_opt t.procs pid with
+    | Some st -> st.rollbacks
+    | None -> 0
+
+  let cross_check t ~n ~failures ~rollbacks_of:oracle_rollbacks =
+    if Hashtbl.mem t.enabled "OPT014" then begin
+      if failures <> t.nfailures then
+        viol t ~at:0.0 ~pid:(-1) ~ver:0 "OPT014"
+          (Printf.sprintf "monitor saw %d failures but the oracle recorded %d"
+             t.nfailures failures);
+      for p = 0 to n - 1 do
+        let seen = rollbacks_of t p in
+        let truth = oracle_rollbacks p in
+        if seen <> truth then
+          viol t ~at:0.0 ~pid:p ~ver:0 "OPT014"
+            (Printf.sprintf
+               "monitor saw %d rollbacks at p%d but the oracle recorded %d"
+               seen p truth)
+      done
+    end
+
+  (* Output-commit safety is a whole-trace property: a commit is unsafe
+     if any token ever announced — even long after the commit — orphans
+     the committed state (the commit rule must have waited for global
+     stability, Section 6.5). *)
+  let finish t =
+    if not t.finished then begin
+      t.finished <- true;
+      List.iter
+        (fun c ->
+          Array.iteri
+            (fun j (e : Ftvc.entry) ->
+              match Hashtbl.find_opt t.all_tokens (j, e.ver) with
+              | Some ts when e.ts > ts ->
+                  viol t ?line:c.c_line ~at:c.c_at ~pid:c.c_pid ~ver:c.c_ver
+                    "OPT012"
+                    (Printf.sprintf
+                       "committed output seq=%d depends on (p%d, v%d) up to \
+                        ts=%d, orphaned by token ts=%d"
+                       c.c_seq j e.ver e.ts ts)
+              | _ -> ())
+            c.c_clock)
+        (List.rev t.commits)
+    end;
+    List.rev t.viols
+
+  let sink t = Trace.sink (fun ev -> feed t ev)
+end
+
+(* --- the offline file front end --- *)
+
+module Lint = struct
+  type report = {
+    file : string;
+    events : int;
+    parse_errors : int;
+    rules_checked : rule list;
+    violations : violation list;
+  }
+
+  let resolve names =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest -> (
+          match find_rule n with
+          | Some r -> go (r :: acc) rest
+          | None ->
+              Error
+                (Printf.sprintf "unknown rule %S (known: %s)" n
+                   (String.concat ", " all_ids)))
+    in
+    go [] names
+
+  let run ?(only = []) ?(ignore = []) file =
+    let ( let* ) = Result.bind in
+    let* selected =
+      match only with
+      | [] -> Ok (List.filter (fun r -> not r.online_only) rules)
+      | names -> resolve names
+    in
+    let* () =
+      match List.find_opt (fun r -> r.online_only) selected with
+      | Some r ->
+          Error
+            (Printf.sprintf
+               "rule %s (%s) needs a live run and cannot be linted offline"
+               r.id r.slug)
+      | None -> Ok ()
+    in
+    let* ignored = resolve ignore in
+    let ignored_ids = List.map (fun r -> r.id) ignored in
+    let checked =
+      List.filter (fun r -> not (List.mem r.id ignored_ids)) selected
+    in
+    let m = Monitor.create ~rules:(List.map (fun r -> r.id) checked) () in
+    let parse_errors = ref 0 in
+    let events = ref 0 in
+    match
+      Trace.iter_file file ~f:(fun ~line res ->
+          match res with
+          | Ok ev ->
+              incr events;
+              Monitor.feed ~line m ev
+          | Error msg ->
+              incr parse_errors;
+              Monitor.parse_error m ~line msg)
+    with
+    | () ->
+        Ok
+          {
+            file;
+            events = !events;
+            parse_errors = !parse_errors;
+            rules_checked = checked;
+            violations = Monitor.finish m;
+          }
+    | exception Sys_error msg -> Error msg
+
+  let errors r =
+    List.length (List.filter (fun v -> v.rule.severity = Error) r.violations)
+
+  let warnings r =
+    List.length (List.filter (fun v -> v.rule.severity = Warning) r.violations)
+
+  let plural n = if n = 1 then "" else "s"
+
+  let pp_human ppf r =
+    List.iter
+      (fun v ->
+        (match v.line with
+        | Some l -> Format.fprintf ppf "%s:%d: " r.file l
+        | None -> Format.fprintf ppf "%s: " r.file);
+        Format.fprintf ppf "[%s] %s: %s (%s; %s)@\n" v.rule.id v.rule.slug
+          v.message
+          (severity_name v.rule.severity)
+          v.rule.reference)
+      r.violations;
+    let e = errors r in
+    let w = warnings r in
+    Format.fprintf ppf "%s: %d event%s, %d rule%s checked: " r.file r.events
+      (plural r.events)
+      (List.length r.rules_checked)
+      (plural (List.length r.rules_checked));
+    if e = 0 && w = 0 then Format.fprintf ppf "clean"
+    else
+      Format.fprintf ppf "%d error%s, %d warning%s" e (plural e) w (plural w);
+    let opt001_checked =
+      List.exists (fun ru -> ru.id = "OPT001") r.rules_checked
+    in
+    if r.parse_errors > 0 && not opt001_checked then
+      Format.fprintf ppf " (%d unparsable line%s ignored)" r.parse_errors
+        (plural r.parse_errors);
+    Format.fprintf ppf "@\n"
+
+  let to_json r =
+    Json.Obj
+      [
+        ("file", Json.String r.file);
+        ("events", Json.Int r.events);
+        ("parse_errors", Json.Int r.parse_errors);
+        ( "rules",
+          Json.List (List.map (fun ru -> Json.String ru.id) r.rules_checked) );
+        ("errors", Json.Int (errors r));
+        ("warnings", Json.Int (warnings r));
+        ("violations", Json.List (List.map violation_to_json r.violations));
+      ]
+end

@@ -215,6 +215,25 @@ let of_json j =
 
 let of_line line = Result.bind (Json.of_string line) of_json
 
+(* --- streaming JSONL reader --- *)
+
+let fold_file path ~init ~f =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop acc lineno =
+        match input_line ic with
+        | exception End_of_file -> acc
+        | raw ->
+            let lineno = lineno + 1 in
+            if String.trim raw = "" then loop acc lineno
+            else loop (f acc ~line:lineno (of_line raw)) lineno
+      in
+      loop init 0)
+
+let iter_file path ~f = fold_file path ~init:() ~f:(fun () ~line r -> f ~line r)
+
 let jsonl_sink write =
   {
     on_event =

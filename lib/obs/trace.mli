@@ -141,6 +141,21 @@ val to_line : event -> string
 
 val of_line : string -> (event, string) result
 
+(** {2 Streaming JSONL reader}
+
+    Both functions read a trace file one line at a time — constant
+    memory, so arbitrarily long recordings can be linted or rendered.
+    Line numbers are 1-based (editor convention) and blank lines are
+    skipped without consuming a number slot's callback. A line that
+    fails to parse is reported as [Error msg] rather than aborting the
+    scan, so callers can count or surface malformed lines and keep
+    going. Raises [Sys_error] if the file cannot be opened or read. *)
+
+val fold_file :
+  string -> init:'a -> f:('a -> line:int -> (event, string) result -> 'a) -> 'a
+
+val iter_file : string -> f:(line:int -> (event, string) result -> unit) -> unit
+
 (** {2 Pretty-printing} (the [recsim trace] renderer) *)
 
 val pp_event : Format.formatter -> event -> unit

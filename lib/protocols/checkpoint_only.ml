@@ -249,3 +249,10 @@ let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ?metrics ~nex
     (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
        checkpoint_loop);
   t
+
+(* Trace-sanitizer rules (optimist.check ids): vector clocks are local
+   state only (Deliver events carry the receiver's merged clock), and
+   recovery is announcement-driven without per-token rollback
+   accounting. *)
+let check_rules =
+  [ "OPT001"; "OPT002"; "OPT003"; "OPT005"; "OPT006"; "OPT007" ]

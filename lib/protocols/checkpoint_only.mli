@@ -55,3 +55,8 @@ val counters : ('s, 'm) t -> (string * int) list
 (** Shared names plus [cascade_rollbacks] (rollbacks triggered by another
     process's rollback announcement rather than directly by a failure) and
     [lost_states] (work discarded without any possibility of replay). *)
+
+val check_rules : string list
+(** Trace-sanitizer rule ids (see [optimist.check]) that are meaningful
+    for this baseline; [Runner.check_rules] consults this under
+    [recsim run --check]. *)

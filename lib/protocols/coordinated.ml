@@ -254,3 +254,8 @@ let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ?metrics ~nex
          (round_loop 1))
   end;
   t
+
+(* Trace-sanitizer rules (optimist.check ids): no clocks at all, and
+   non-failed processes roll back to the coordinated line without
+   detecting orphans, so only the structural rules apply. *)
+let check_rules = [ "OPT001"; "OPT002"; "OPT003"; "OPT006"; "OPT007" ]

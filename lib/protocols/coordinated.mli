@@ -52,3 +52,8 @@ val metrics : ('s, 'm) t -> Optimist_obs.Metrics.Scope.t
     concepts coincide. *)
 
 val counters : ('s, 'm) t -> (string * int) list
+
+val check_rules : string list
+(** Trace-sanitizer rule ids (see [optimist.check]) that are meaningful
+    for this baseline; [Runner.check_rules] consults this under
+    [recsim run --check]. *)

@@ -171,3 +171,9 @@ let create ~engine ~net ~app ~id:pid ~n:_ ?(config = default_config) ?metrics
     (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
        checkpoint_loop);
   t
+
+(* Trace-sanitizer rules (optimist.check ids) this baseline's event
+   stream satisfies. No FTVCs are piggybacked, so the clock-carrying
+   rules do not apply, and checkpoint positions count processed
+   messages rather than log entries, ruling out checkpoint-stability. *)
+let check_rules = [ "OPT001"; "OPT002"; "OPT003"; "OPT006"; "OPT007" ]

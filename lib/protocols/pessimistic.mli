@@ -58,3 +58,8 @@ val counters : ('s, 'm) t -> (string * int) list
 (** [delivered], [sent], [restarts], [replayed], [piggyback_words],
     [blocked_time_x1000] (accumulated synchronous-write delay), plus the
     shared counter names used by the comparison table. *)
+
+val check_rules : string list
+(** Trace-sanitizer rule ids (see [optimist.check]) that are meaningful
+    for this baseline; [Runner.check_rules] consults this under
+    [recsim run --check]. *)

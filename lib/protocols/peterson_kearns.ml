@@ -349,3 +349,10 @@ let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ?metrics ~nex
     (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
        checkpoint_loop);
   t
+
+(* Trace-sanitizer rules (optimist.check ids): Deliver events stamp the
+   receiver's merged clock rather than the sender's piggyback, so
+   piggyback-integrity does not apply; the vector-clock rules (rendered
+   as version-0 FTVC entries) do. *)
+let check_rules =
+  [ "OPT001"; "OPT002"; "OPT003"; "OPT005"; "OPT006"; "OPT007"; "OPT013" ]

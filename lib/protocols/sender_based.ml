@@ -346,3 +346,11 @@ let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ?metrics ~nex
     (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
        checkpoint_loop);
   t
+
+(* Trace-sanitizer rules (optimist.check ids): no clocks on the wire,
+   so only the structural rules apply. Duplicate-delivery is out: a
+   send that was never acknowledged is resent as fresh during the
+   receiver's recovery, and the original copy may still be in flight,
+   so the same uid can genuinely reach the application twice — this
+   baseline dedups retransmissions by RSN only. *)
+let check_rules = [ "OPT001"; "OPT002"; "OPT006"; "OPT007" ]

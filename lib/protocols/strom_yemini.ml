@@ -354,3 +354,21 @@ let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ?metrics ~nex
     (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
        checkpoint_loop);
   t
+
+(* Trace-sanitizer rules (optimist.check ids): messages piggyback full
+   clocks, so the clock-integrity rules apply, and obsolete discards
+   are driven by recovery announcements just like Lemma 4 tokens.
+   Rollbacks can be conservative — triggered by an announcement without
+   a per-token orphan detection — so the rollback-bound rule is out. *)
+let check_rules =
+  [
+    "OPT001";
+    "OPT002";
+    "OPT003";
+    "OPT004";
+    "OPT005";
+    "OPT006";
+    "OPT007";
+    "OPT008";
+    "OPT009";
+  ]

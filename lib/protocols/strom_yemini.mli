@@ -69,3 +69,8 @@ val metrics : ('s, 'm) t -> Optimist_obs.Metrics.Scope.t
 
 val counters : ('s, 'm) t -> (string * int) list
 (** Shared names plus [conservative_rollbacks]. *)
+
+val check_rules : string list
+(** Trace-sanitizer rule ids (see [optimist.check]) that are meaningful
+    for this baseline; [Runner.check_rules] consults this under
+    [recsim run --check]. *)

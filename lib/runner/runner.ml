@@ -9,6 +9,7 @@ module Process = Optimist_core.Process
 module Oracle = Optimist_oracle.Oracle
 module Schedule = Optimist_workload.Schedule
 module Traffic = Optimist_workload.Traffic
+module Check = Optimist_check.Check
 module Pessimistic = Optimist_protocols.Pessimistic
 module Sender_based = Optimist_protocols.Sender_based
 module Strom_yemini = Optimist_protocols.Strom_yemini
@@ -51,6 +52,8 @@ let protocol_name = function
 let protocol_of_string s =
   List.find_opt (fun p -> protocol_name p = s) all_protocols
 
+type check_mode = No_check | Check | Check_strict
+
 type params = {
   protocol : protocol;
   n : int;
@@ -63,6 +66,7 @@ type params = {
   ordering : Network.ordering;
   with_oracle : bool;
   trace : Trace.t;
+  check : check_mode;
 }
 
 let default_params =
@@ -78,7 +82,20 @@ let default_params =
     ordering = Network.Reorder;
     with_oracle = false;
     trace = Trace.null;
+    check = No_check;
   }
+
+(* Which sanitizer rules a protocol's trace is expected to satisfy. The
+   Damani-Garg variants are the paper's protocol and carry every rule;
+   each baseline declares its own applicable subset. *)
+let check_rules = function
+  | Damani_garg | Damani_garg_no_hold -> Check.all_ids
+  | Pessimistic -> Optimist_protocols.Pessimistic.check_rules
+  | Sender_based -> Optimist_protocols.Sender_based.check_rules
+  | Strom_yemini -> Optimist_protocols.Strom_yemini.check_rules
+  | Peterson_kearns -> Optimist_protocols.Peterson_kearns.check_rules
+  | Checkpoint_only -> Optimist_protocols.Checkpoint_only.check_rules
+  | Coordinated -> Optimist_protocols.Coordinated.check_rules
 
 type report = {
   r_protocol : string;
@@ -90,6 +107,7 @@ type report = {
   r_virtual_end : float;
   r_oracle_stats : (int * int * int) option;
   r_violations : string list;
+  r_check : Check.violation list;
   r_registry : Metrics.registry;
 }
 
@@ -118,7 +136,7 @@ let net_config params =
   { (Network.default_config ~n:params.n) with Network.ordering = params.ordering }
 
 (* The Damani-Garg variants run through System (they share lib/core). *)
-let run_damani params ~hold =
+let run_damani params ~hold ~monitor =
   let oracle = if params.with_oracle then Some (Oracle.create ~n:params.n) else None in
   let tracer = Option.map Oracle.tracer oracle in
   let config = { Types.default_config with Types.hold_undeliverable = hold } in
@@ -135,6 +153,14 @@ let run_damani params ~hold =
     ~partition:(fun ~at ~groups -> System.partition_at sys ~at ~groups)
     ~heal:(fun ~at -> System.heal_at sys ~at);
   System.run sys;
+  (* Online sanitizer cross-check against the ground-truth timeline:
+     the monitor reconstructed failure/rollback counts from the event
+     stream alone; the oracle observed the real states (OPT014). *)
+  (match (monitor, oracle) with
+  | Some m, Some o ->
+      Check.Monitor.cross_check m ~n:params.n ~failures:(Oracle.failures o)
+        ~rollbacks_of:(Oracle.rollbacks_of o)
+  | _ -> ());
   let engine = System.engine sys in
   let dumps = List.map snd (System.counters sys) in
   let history_records =
@@ -162,6 +188,7 @@ let run_damani params ~hold =
           List.map
             (fun v -> v.Oracle.check ^ ": " ^ v.Oracle.detail)
             (Oracle.check o));
+    r_check = [];
     r_registry = registry;
   }
 
@@ -212,13 +239,14 @@ let run_baseline (type w t) params ~name
     r_virtual_end = Engine.now engine;
     r_oracle_stats = None;
     r_violations = [];
+    r_check = [];
     r_registry = registry;
   }
 
-let run params =
+let dispatch params ~monitor =
   match params.protocol with
-  | Damani_garg -> run_damani params ~hold:true
-  | Damani_garg_no_hold -> run_damani params ~hold:false
+  | Damani_garg -> run_damani params ~hold:true ~monitor
+  | Damani_garg_no_hold -> run_damani params ~hold:false ~monitor
   | Pessimistic ->
       run_baseline params ~name:(protocol_name Pessimistic)
         ~make_net:Pessimistic.make_net
@@ -262,6 +290,28 @@ let run params =
         ~inject:Coordinated.inject ~fail:Coordinated.fail
         ~state:Coordinated.state
 
+let run params =
+  match params.check with
+  | No_check -> dispatch params ~monitor:None
+  | Check | Check_strict ->
+      (* The sanitizer is a trace sink, so checking forces a live
+         recorder even when the caller did not ask for tracing. *)
+      let trace =
+        if params.trace == Trace.null then Trace.create () else params.trace
+      in
+      let monitor =
+        Check.Monitor.create ~rules:(check_rules params.protocol) ()
+      in
+      Trace.attach trace (Check.Monitor.sink monitor);
+      let r = dispatch { params with trace } ~monitor:(Some monitor) in
+      let violations = Check.Monitor.finish monitor in
+      let scope =
+        Metrics.Scope.create ~registry:r.r_registry ~protocol:r.r_protocol
+          ~process:(-1) ()
+      in
+      Metrics.Scope.incr ~by:(List.length violations) scope "check.violations";
+      { r with r_check = violations }
+
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>protocol: %s@,events: %d  virtual end: %.1f@," r.r_protocol
     r.r_events r.r_virtual_end;
@@ -271,4 +321,7 @@ let pp_report ppf r =
       Format.fprintf ppf "oracle: live=%d lost=%d discarded=%d@," live lost discarded
   | None -> ());
   List.iter (fun v -> Format.fprintf ppf "VIOLATION %s@," v) r.r_violations;
+  List.iter
+    (fun v -> Format.fprintf ppf "CHECK %a@," Check.pp_violation v)
+    r.r_check;
   Format.fprintf ppf "@]"

@@ -6,6 +6,7 @@
 module Network = Optimist_net.Network
 module Metrics = Optimist_obs.Metrics
 module Trace = Optimist_obs.Trace
+module Check = Optimist_check.Check
 module Schedule = Optimist_workload.Schedule
 module Traffic = Optimist_workload.Traffic
 
@@ -25,6 +26,18 @@ val protocol_name : protocol -> string
 
 val protocol_of_string : string -> protocol option
 
+type check_mode =
+  | No_check
+  | Check  (** run the online sanitizer; violations land in [r_check] *)
+  | Check_strict
+      (** same monitoring — the mode only signals to callers (the CLI)
+          that warnings should also fail the run *)
+
+val check_rules : protocol -> string list
+(** The sanitizer rules this protocol's trace is expected to satisfy:
+    every rule for the Damani-Garg variants, the subset each baseline
+    declares ([check_rules] in its module) otherwise. *)
+
 type params = {
   protocol : protocol;
   n : int;
@@ -40,6 +53,10 @@ type params = {
   trace : Trace.t;
       (** structured-trace recorder installed on the engine; defaults to
           {!Trace.null} (no events, one boolean check per site) *)
+  check : check_mode;
+      (** attach the online sanitizer as a trace sink (forcing a live
+          recorder if [trace] is {!Trace.null}); defaults to
+          [No_check] *)
 }
 
 val default_params : params
@@ -54,6 +71,10 @@ type report = {
   r_virtual_end : float;  (** virtual time at quiescence *)
   r_oracle_stats : (int * int * int) option;  (** live, lost, discarded *)
   r_violations : string list;  (** oracle check failures (empty = clean) *)
+  r_check : Check.violation list;
+      (** online-sanitizer violations, including the oracle cross-check
+          when both the sanitizer and the oracle ran (empty = clean or
+          checking off); also counted by the [check.violations] metric *)
   r_registry : Metrics.registry;
       (** per-process metric scopes, labelled [(protocol, pid)] *)
 }

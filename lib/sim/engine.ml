@@ -47,6 +47,10 @@ let tracer t = t.tracer
 
 let set_tracer t tr = t.tracer <- tr
 
+let ensure_tracer t =
+  if t.tracer == Trace.null then t.tracer <- Trace.create ();
+  t.tracer
+
 let schedule_at t ?(daemon = false) at action =
   if at < t.clock then
     invalid_arg

@@ -36,6 +36,12 @@ val set_tracer : t -> Optimist_obs.Trace.t -> unit
 (** Install a recorder. Call before constructing the model so every
     component picks it up. *)
 
+val ensure_tracer : t -> Optimist_obs.Trace.t
+(** The engine's recorder, installing a fresh enabled-capable one first
+    if the current recorder is [Trace.null]. Lets observers (sanitizer
+    monitors, ad-hoc sinks) attach to an engine whose caller did not ask
+    for tracing, without clobbering a recorder that is already set. *)
+
 val schedule : t -> ?daemon:bool -> delay:time -> (unit -> unit) -> cancel
 (** [schedule t ~delay f] runs [f] at [now t +. delay]. [delay] must be
     non-negative. Returns a cancellation handle.

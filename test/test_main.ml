@@ -19,4 +19,5 @@ let () =
       ("workload", Test_workload.suite);
       ("system", Test_system.suite);
       ("obs", Test_obs.suite);
+      ("check", Test_check.suite);
     ]
