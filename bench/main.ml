@@ -5,7 +5,7 @@
      dune exec bench/main.exe              # everything
      dune exec bench/main.exe -- table1    # one experiment
        (table1 | overhead | domino | recovery | concurrent | motivation |
-        ablation | extensions | micro)
+        ablation | extensions | micro | live)
 
    Experiment ids refer to DESIGN.md: T1 = paper Table 1, O1-O3 = Section
    6.9 overhead analysis, P1-P3 = the Section 1/6.8 properties. *)
@@ -18,6 +18,8 @@ module Network = Optimist_net.Network
 module Ftvc = Optimist_clock.Ftvc
 module History = Optimist_history.History
 module Vclock = Optimist_clock.Vclock
+module Live = Optimist_live.Supervisor
+module Live_worker = Optimist_live.Worker
 
 let section title = Format.printf "@.=== %s ===@.@." title
 
@@ -931,6 +933,64 @@ let micro () =
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
 (* ------------------------------------------------------------------ *)
+(* L1: live runtime — the same protocol over real processes            *)
+(* ------------------------------------------------------------------ *)
+
+(* Not a micro-benchmark: one supervised wall-clock run per protocol,
+   with real SIGKILLs, reporting end-to-end throughput figures the
+   simulator cannot produce (it has no wall clock to speak of). *)
+let live () =
+  section "L1: live runtime — real processes, sockets, SIGKILL";
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("protocol", Table.Left);
+          ("wall (s)", Table.Right);
+          ("events", Table.Right);
+          ("events/s", Table.Right);
+          ("crashes", Table.Right);
+          ("clean exits", Table.Right);
+          ("torn lines", Table.Right);
+        ]
+  in
+  List.iter
+    (fun protocol ->
+      let name = Live_worker.protocol_name protocol in
+      let dir =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "optbench-%s-%d" name (Unix.getpid ()))
+      in
+      let cfg =
+        {
+          Live.default_cfg with
+          Live.dir;
+          n = 4;
+          protocol;
+          duration = 2.0;
+          settle = 1.5;
+          rate = 8.0;
+          faults = [ (0.8, 1); (1.4, 2) ];
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      let r = Live.run cfg in
+      let wall = Unix.gettimeofday () -. t0 in
+      Table.add_row t
+        [
+          name;
+          fmt_float wall;
+          string_of_int r.Live.events;
+          fmt_float (float_of_int r.Live.events /. wall);
+          string_of_int r.Live.crashes;
+          string_of_int r.Live.clean_exits;
+          string_of_int r.Live.dropped;
+        ])
+    [ Live_worker.Dg; Live_worker.Pessimist ];
+  Format.printf "%s@." (Table.render t)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let experiments =
@@ -944,6 +1004,7 @@ let () =
       ("ablation", ablation);
       ("extensions", extensions);
       ("micro", micro);
+      ("live", live);
     ]
   in
   let args = Array.to_list Sys.argv |> List.tl in

@@ -23,7 +23,55 @@ module Schedule = Optimist_workload.Schedule
 module Traffic = Optimist_workload.Traffic
 module Network = Optimist_net.Network
 module Table = Optimist_util.Table
+module Live = Optimist_live.Supervisor
+module Live_worker = Optimist_live.Worker
 open Cmdliner
+
+(* --- validated numeric conversions ---
+
+   Nonsense values (0 processes, a negative rate, a probability of 3)
+   must die at argument parsing with a one-line message, not as an
+   exception backtrace out of the simulation. *)
+
+let int_at_least min =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+    | Some v when v < min ->
+        Error (`Msg (Printf.sprintf "must be at least %d (got %d)" min v))
+    | Some v -> Ok v
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let positive_float =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "expected a number, got %S" s))
+    | Some v when v <= 0.0 || not (Float.is_finite v) ->
+        Error (`Msg (Printf.sprintf "must be positive (got %g)" v))
+    | Some v -> Ok v
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let non_negative_float =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "expected a number, got %S" s))
+    | Some v when v < 0.0 || not (Float.is_finite v) ->
+        Error (`Msg (Printf.sprintf "must be non-negative (got %g)" v))
+    | Some v -> Ok v
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let probability =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "expected a number, got %S" s))
+    | Some v when not (Float.is_finite v) || v < 0.0 || v > 1.0 ->
+        Error (`Msg (Printf.sprintf "must be a probability in [0, 1] (got %g)" v))
+    | Some v -> Ok v
+  in
+  Arg.conv (parse, Format.pp_print_float)
 
 (* --- shared argument definitions --- *)
 
@@ -64,7 +112,10 @@ let pattern_conv =
   Arg.conv (parse, print)
 
 let n_arg =
-  Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+  Arg.(
+    value
+    & opt (int_at_least 2) 4
+    & info [ "n" ] ~docv:"N" ~doc:"Number of processes (at least 2).")
 
 let seed_arg =
   Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
@@ -72,28 +123,42 @@ let seed_arg =
 let rate_arg =
   Arg.(
     value
-    & opt float 0.05
+    & opt positive_float 0.05
     & info [ "rate" ] ~docv:"RATE"
         ~doc:"Environment injections per process per time unit.")
 
 let duration_arg =
   Arg.(
     value
-    & opt float 500.0
+    & opt positive_float 500.0
     & info [ "duration" ] ~docv:"T" ~doc:"Injection window in virtual time.")
 
 let hops_arg =
   Arg.(
     value
-    & opt int 6
+    & opt (int_at_least 0) 6
     & info [ "hops" ] ~docv:"HOPS" ~doc:"Forwarding chain length per stimulus.")
 
 let failures_arg =
   Arg.(
     value
-    & opt int 0
+    & opt (int_at_least 0) 0
     & info [ "failures" ] ~docv:"K"
         ~doc:"Random crashes in the middle 80% of the run.")
+
+let drop_arg =
+  Arg.(
+    value
+    & opt probability 0.0
+    & info [ "drop" ] ~docv:"P"
+        ~doc:"Probability of losing each Data message in transit.")
+
+let dup_arg =
+  Arg.(
+    value
+    & opt probability 0.0
+    & info [ "dup" ] ~docv:"P"
+        ~doc:"Probability of duplicating each Data message in transit.")
 
 let fifo_arg =
   Arg.(value & flag & info [ "fifo" ] ~doc:"Use FIFO channels (default: reordering).")
@@ -114,8 +179,9 @@ let pattern_arg =
     & info [ "pattern" ] ~docv:"PATTERN"
         ~doc:"Workload: uniform, ring, pipeline, client-server:<servers>.")
 
-let make_params ?(trace = Trace.null) ?(check = Runner.No_check) protocol n
-    seed rate duration hops failures fifo oracle pattern =
+let make_params ?(trace = Trace.null) ?(check = Runner.No_check)
+    ?(drop = 0.0) ?(dup = 0.0) protocol n seed rate duration hops failures
+    fifo oracle pattern =
   let faults =
     if failures = 0 then []
     else
@@ -134,6 +200,8 @@ let make_params ?(trace = Trace.null) ?(check = Runner.No_check) protocol n
     hops;
     faults;
     ordering = (if fifo then Network.Fifo else Network.Reorder);
+    drop;
+    dup;
     with_oracle = oracle;
     trace;
     check;
@@ -205,7 +273,7 @@ let run_cmd =
       & info [ "protocol"; "p" ] ~docv:"PROTOCOL" ~doc:"Protocol to run.")
   in
   let action protocol n seed rate duration hops failures fifo oracle pattern
-      trace_file trace_format check_mode =
+      drop dup trace_file trace_format check_mode =
     let check =
       match check_mode with
       | None -> Runner.No_check
@@ -215,8 +283,8 @@ let run_cmd =
     let report =
       with_recorder trace_file trace_format (fun trace ->
           Runner.run
-            (make_params ~trace ~check protocol n seed rate duration hops
-               failures fifo oracle pattern))
+            (make_params ~trace ~check ~drop ~dup protocol n seed rate
+               duration hops failures fifo oracle pattern))
     in
     Format.printf "%a@." Runner.pp_report report;
     let check_failed =
@@ -233,7 +301,8 @@ let run_cmd =
     Term.(
       const action $ protocol_arg $ n_arg $ seed_arg $ rate_arg $ duration_arg
       $ hops_arg $ failures_arg $ fifo_arg $ oracle_arg $ pattern_arg
-      $ trace_file_arg $ trace_format_arg $ check_mode_arg)
+      $ drop_arg $ dup_arg $ trace_file_arg $ trace_format_arg
+      $ check_mode_arg)
 
 (* --- trace --- *)
 
@@ -258,27 +327,52 @@ let trace_cmd =
       & info [ "kind" ] ~docv:"KIND"
           ~doc:"Only events of this kind (e.g. rollback, drop_obsolete).")
   in
-  let action file pid kind =
+  let strict_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit non-zero on unparsable lines and schema-version mismatch.")
+  in
+  let action file pid kind strict =
     let errors = ref 0 in
+    let mismatch = ref None in
     Trace.iter_file file ~f:(fun ~line res ->
         match res with
         | Error msg ->
             incr errors;
             Printf.eprintf "%s:%d: %s\n" file line msg
-        | Ok e ->
-            let keep =
-              (match pid with Some p -> e.Trace.pid = p | None -> true)
-              && match kind with
-                 | Some k -> Trace.kind_name e.Trace.kind = k
-                 | None -> true
-            in
-            if keep then Format.printf "%a@." Trace.pp_event e);
-    if !errors > 0 then exit 1
+        | Ok e -> (
+            match Trace.schema_of_event e with
+            | Some v ->
+                (* The header is bookkeeping, not a protocol event: check
+                   it, don't render it. *)
+                if v <> Trace.schema_version && !mismatch = None then
+                  mismatch := Some v
+            | None ->
+                let keep =
+                  (match pid with Some p -> e.Trace.pid = p | None -> true)
+                  && match kind with
+                     | Some k -> Trace.kind_name e.Trace.kind = k
+                     | None -> true
+                in
+                if keep then Format.printf "%a@." Trace.pp_event e));
+    (match !mismatch with
+    | Some v ->
+        Printf.eprintf
+          "%s: %s: trace declares schema version %d but this reader expects \
+           %d\n"
+          file
+          (if strict then "error" else "warning")
+          v Trace.schema_version
+    | None -> ());
+    if !errors > 0 || (strict && !mismatch <> None) then exit 1
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Pretty-print a JSONL trace, optionally filtered.")
-    Term.(const action $ file_arg $ pid_arg $ kind_arg)
+    Term.(const action $ file_arg $ pid_arg $ kind_arg $ strict_arg)
 
 (* --- check --- *)
 
@@ -294,7 +388,9 @@ let check_cmd =
       value
       & flag
       & info [ "strict" ]
-          ~doc:"Exit non-zero on warnings and unparsable lines too.")
+          ~doc:
+            "Exit non-zero on warnings, unparsable lines and schema-version \
+             mismatches too.")
   in
   let rule_arg =
     Arg.(
@@ -355,7 +451,8 @@ let check_cmd =
                 Check.Lint.errors report > 0
                 || strict
                    && (Check.Lint.warnings report > 0
-                      || report.Check.Lint.parse_errors > 0)
+                      || report.Check.Lint.parse_errors > 0
+                      || Check.Lint.schema_mismatch report <> None)
               in
               if failed then exit 1)
   in
@@ -367,6 +464,256 @@ let check_cmd =
     Term.(
       const action $ file_arg $ strict_arg $ rule_arg $ ignore_arg
       $ format_arg $ list_rules_arg)
+
+(* --- live --- *)
+
+let live_protocol_conv =
+  let parse s =
+    match Live_worker.protocol_of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "unknown live protocol %S (dg | pessimist)" s))
+  in
+  let print ppf p = Format.pp_print_string ppf (Live_worker.protocol_name p) in
+  Arg.conv (parse, print)
+
+let fault_conv =
+  let parse s =
+    match String.index_opt s ':' with
+    | Some i -> (
+        let at = String.sub s 0 i in
+        let pid = String.sub s (i + 1) (String.length s - i - 1) in
+        match (float_of_string_opt at, int_of_string_opt pid) with
+        | Some at, Some pid when at > 0.0 -> Ok (at, pid)
+        | Some at, Some _ ->
+            Error (`Msg (Printf.sprintf "fault time must be positive (got %g)" at))
+        | _ -> Error (`Msg (Printf.sprintf "expected SECONDS:PID, got %S" s)))
+    | None -> Error (`Msg (Printf.sprintf "expected SECONDS:PID, got %S" s))
+  in
+  let print ppf (at, pid) = Format.fprintf ppf "%g:%d" at pid in
+  Arg.conv (parse, print)
+
+let live_out_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"DIR"
+        ~doc:"Run directory (sockets, stores, traces; previous run cleared).")
+
+let live_run_cmd =
+  let protocol_arg =
+    Arg.(
+      value
+      & opt live_protocol_conv Live_worker.Dg
+      & info [ "protocol"; "p" ] ~docv:"PROTOCOL"
+          ~doc:"Protocol to run live: $(b,dg) or $(b,pessimist).")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt positive_float 8.0
+      & info [ "rate" ] ~docv:"RATE"
+          ~doc:"Environment injections per process per second.")
+  in
+  let duration_arg =
+    Arg.(
+      value
+      & opt positive_float 3.0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Injection window in wall-clock seconds.")
+  in
+  let settle_arg =
+    Arg.(
+      value
+      & opt non_negative_float 2.0
+      & info [ "settle" ] ~docv:"SECONDS"
+          ~doc:"Drain time after the injection window.")
+  in
+  let hops_arg =
+    Arg.(
+      value
+      & opt (int_at_least 0) 3
+      & info [ "hops" ] ~docv:"HOPS"
+          ~doc:"Forwarding chain length per stimulus.")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt_all fault_conv []
+      & info [ "fault"; "faults" ] ~docv:"SECONDS:PID"
+          ~doc:
+            "SIGKILL worker $(b,PID) that many seconds into the run \
+             (repeatable).")
+  in
+  let restart_delay_arg =
+    Arg.(
+      value
+      & opt positive_float 0.3
+      & info [ "restart-delay" ] ~docv:"SECONDS"
+          ~doc:"Crash-to-respawn delay.")
+  in
+  let action protocol n seed rate duration settle hops pattern faults
+      restart_delay out =
+    let cfg =
+      {
+        Live.dir = out;
+        n;
+        protocol;
+        seed;
+        duration;
+        settle;
+        rate;
+        hops;
+        pattern;
+        faults;
+        restart_delay;
+        jitter = Live.default_cfg.Live.jitter;
+      }
+    in
+    match Live.run cfg with
+    | r ->
+        Printf.printf
+          "live run complete: %d workers, %d crash(es) injected, %d clean \
+           exit(s)\n"
+          n r.Live.crashes r.Live.clean_exits;
+        Printf.printf "merged trace: %s (%d events, %d torn lines dropped)\n"
+          r.Live.merged r.Live.events r.Live.dropped;
+        Printf.printf "lint it with: recsim check %s --strict\n" r.Live.merged
+    | exception Invalid_argument msg ->
+        Printf.eprintf "recsim live run: %s\n" msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run the protocol over real OS processes and Unix-domain sockets, \
+          with SIGKILL crash injection.")
+    Term.(
+      const action $ protocol_arg $ n_arg $ seed_arg $ rate_arg
+      $ duration_arg $ settle_arg $ hops_arg $ pattern_arg $ faults_arg
+      $ restart_delay_arg $ live_out_arg)
+
+let live_report_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR" ~doc:"Run directory written by `recsim live run'.")
+  in
+  let field j name = Json.mem name j in
+  let int_field j name = Option.bind (field j name) Json.to_int in
+  let action dir =
+    let run_path = Live.run_file dir in
+    if not (Sys.file_exists run_path) then begin
+      Printf.eprintf "recsim live report: %s not found (not a run directory?)\n"
+        run_path;
+      exit 2
+    end;
+    let ic = open_in run_path in
+    let line = input_line ic in
+    close_in ic;
+    let summary =
+      match Json.of_string line with
+      | Ok j -> j
+      | Error msg ->
+          Printf.eprintf "recsim live report: %s: %s\n" run_path msg;
+          exit 2
+    in
+    let n = Option.value ~default:0 (int_field summary "n") in
+    Printf.printf "protocol:     %s\n"
+      (Option.value ~default:"?"
+         (Option.bind (field summary "protocol") Json.string_value));
+    List.iter
+      (fun name ->
+        match int_field summary name with
+        | Some v -> Printf.printf "%-13s %d\n" (name ^ ":") v
+        | None -> ())
+      [ "n"; "crashes"; "clean_exits"; "events"; "dropped_lines" ];
+    (* Final incarnation of each worker: highest generation with a stats
+       file (a gen that died to SIGKILL never wrote one). *)
+    let t =
+      Table.create
+        ~columns:
+          [
+            ("pid", Table.Right);
+            ("gens", Table.Right);
+            ("digest", Table.Right);
+            ("delivered", Table.Right);
+            ("replayed", Table.Right);
+            ("restarts", Table.Right);
+            ("rollbacks", Table.Right);
+          ]
+    in
+    let final_gen pid =
+      match Option.bind (field summary "generations") Json.list_value with
+      | Some l -> (
+          match List.nth_opt l pid with
+          | Some g -> Option.value ~default:0 (Json.to_int g)
+          | None -> 0)
+      | None -> 0
+    in
+    for pid = 0 to n - 1 do
+      (* Walk down from the final generation: an incarnation that died to
+         a SIGKILL wrote no stats file, only cleanly-exiting ones did. *)
+      let rec last_stats gen =
+        if gen < 0 then None
+        else
+          let path = Live_worker.stats_file ~dir ~me:pid ~gen in
+          if Sys.file_exists path then Some (path, gen)
+          else last_stats (gen - 1)
+      in
+      match last_stats (final_gen pid) with
+      | None -> Table.add_row t [ string_of_int pid; "?"; "-"; "-"; "-"; "-"; "-" ]
+      | Some (path, gen) ->
+          let ic = open_in path in
+          let j = Json.of_string (input_line ic) in
+          close_in ic;
+          let j = match j with Ok j -> j | Error _ -> Json.Null in
+          let counters = Option.value ~default:Json.Null (field j "counters") in
+          let c name =
+            match Option.bind (Json.mem name counters) Json.to_int with
+            | Some v -> string_of_int v
+            | None -> "0"
+          in
+          Table.add_row t
+            [
+              string_of_int pid;
+              string_of_int (gen + 1);
+              (match int_field j "digest" with
+              | Some d -> Printf.sprintf "%08x" (d land 0xffffffff)
+              | None -> "-");
+              c "delivered";
+              c "replayed";
+              c "restarts";
+              c "rollbacks";
+            ]
+    done;
+    Format.printf "%s@." (Table.render t);
+    let merged = Live.merged_file dir in
+    if Sys.file_exists merged then
+      match Check.Lint.run ~only:[] ~ignore:[] merged with
+      | Ok report ->
+          Printf.printf "sanitizer:    %d error(s), %d warning(s)%s\n"
+            (Check.Lint.errors report)
+            (Check.Lint.warnings report)
+            (match Check.Lint.schema_mismatch report with
+            | Some v -> Printf.sprintf " (schema mismatch: %d)" v
+            | None -> "")
+      | Error msg -> Printf.printf "sanitizer:    unavailable (%s)\n" msg
+    else Printf.printf "sanitizer:    no merged trace at %s\n" merged
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Summarize a live run directory.")
+    Term.(const action $ dir_arg)
+
+let live_cmd =
+  Cmd.group
+    (Cmd.info "live"
+       ~doc:
+         "Run the protocol over real processes and sockets (crash injection \
+          included).")
+    [ live_run_cmd; live_report_cmd ]
 
 (* --- compare --- *)
 
@@ -442,4 +789,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "recsim" ~doc)
-          [ run_cmd; trace_cmd; check_cmd; compare_cmd; list_cmd ]))
+          [ run_cmd; trace_cmd; check_cmd; live_cmd; compare_cmd; list_cmd ]))

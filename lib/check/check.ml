@@ -549,9 +549,15 @@ module Lint = struct
     file : string;
     events : int;
     parse_errors : int;
+    declared_schema : int option;
     rules_checked : rule list;
     violations : violation list;
   }
+
+  let schema_mismatch r =
+    match r.declared_schema with
+    | Some v when v <> Trace.schema_version -> Some v
+    | Some _ | None -> None
 
   let resolve names =
     let rec go acc = function
@@ -590,11 +596,15 @@ module Lint = struct
     let m = Monitor.create ~rules:(List.map (fun r -> r.id) checked) () in
     let parse_errors = ref 0 in
     let events = ref 0 in
+    let declared = ref None in
     match
       Trace.iter_file file ~f:(fun ~line res ->
           match res with
           | Ok ev ->
               incr events;
+              (match Trace.schema_of_event ev with
+              | Some v when !declared = None -> declared := Some v
+              | _ -> ());
               Monitor.feed ~line m ev
           | Error msg ->
               incr parse_errors;
@@ -606,6 +616,7 @@ module Lint = struct
             file;
             events = !events;
             parse_errors = !parse_errors;
+            declared_schema = !declared;
             rules_checked = checked;
             violations = Monitor.finish m;
           }
@@ -645,7 +656,13 @@ module Lint = struct
     if r.parse_errors > 0 && not opt001_checked then
       Format.fprintf ppf " (%d unparsable line%s ignored)" r.parse_errors
         (plural r.parse_errors);
-    Format.fprintf ppf "@\n"
+    Format.fprintf ppf "@\n";
+    match schema_mismatch r with
+    | Some v ->
+        Format.fprintf ppf
+          "%s: trace declares schema version %d but this linter expects %d@\n"
+          r.file v Trace.schema_version
+    | None -> ()
 
   let to_json r =
     Json.Obj
@@ -653,6 +670,10 @@ module Lint = struct
         ("file", Json.String r.file);
         ("events", Json.Int r.events);
         ("parse_errors", Json.Int r.parse_errors);
+        ( "schema",
+          match r.declared_schema with
+          | Some v -> Json.Int v
+          | None -> Json.Null );
         ( "rules",
           Json.List (List.map (fun ru -> Json.String ru.id) r.rules_checked) );
         ("errors", Json.Int (errors r));

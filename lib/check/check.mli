@@ -139,9 +139,17 @@ module Lint : sig
     file : string;
     events : int;  (** events parsed (excluding blank/bad lines) *)
     parse_errors : int;
+    declared_schema : int option;
+        (** the version the trace's schema header declares; [None] for
+            headerless (pre-version-2) traces *)
     rules_checked : rule list;
     violations : violation list;  (** detection order *)
   }
+
+  val schema_mismatch : report -> int option
+  (** [Some v] when the trace declares schema version [v] and it differs
+      from {!Trace.schema_version}. Headerless traces are tolerated
+      ([None]). *)
 
   val run :
     ?only:string list ->

@@ -10,9 +10,11 @@
     - restart after a failure (Section 6.2) and rollback on an orphaning
       token (Sections 6.3–6.4).
 
-    All scheduling runs on the shared simulation engine; message transport
-    goes through the shared network, with tokens on the reliable control
-    plane. *)
+    All scheduling and transport go through the {!Transport} seam: the
+    simulation instantiates it from the discrete-event engine and the
+    simulated network ({!create}), the live runtime from a wall-clock loop
+    and real sockets ({!create_rt}); the protocol logic is identical in
+    both modes. *)
 
 module Engine = Optimist_sim.Engine
 module Network = Optimist_net.Network
@@ -21,6 +23,36 @@ module History = Optimist_history.History
 module Metrics = Optimist_obs.Metrics
 
 type ('s, 'm) t
+
+type ('s, 'm) checkpoint
+(** Opaque checkpoint payload: application state, FTVC, history copy and
+    output-commit bookkeeping. Exposed (abstractly) so an external stable
+    store can persist and reload it. *)
+
+type ('s, 'm) stable_hooks = {
+  log_appended : 'm Types.log_entry list -> unit;
+      (** entries newly moved to stable storage, oldest first *)
+  log_truncated : stable:int -> unit;
+      (** rollback/restart cut the stable log back to [stable] entries *)
+  checkpoint_recorded : position:int -> ('s, 'm) checkpoint -> unit;
+  checkpoints_discarded_after : position:int -> unit;
+  tokens_logged : Types.token list -> unit;
+      (** the full token list, re-logged synchronously (Section 6.3) *)
+}
+(** Mirrors every transition of the stable (crash-surviving) state onto an
+    external medium. Hooks fire after the in-memory transition and before
+    the corresponding trace event. The simulation leaves them at
+    {!null_hooks}; the live runtime writes through to disk so a SIGKILL-ed
+    worker can be rebuilt from an {!image}. *)
+
+val null_hooks : ('s, 'm) stable_hooks
+
+type ('s, 'm) image = {
+  im_log : 'm Types.log_entry array;  (** stable prefix, position order *)
+  im_checkpoints : (('s, 'm) checkpoint * int) list;  (** newest first *)
+  im_tokens : Types.token list;
+}
+(** Everything that survives a crash, as reloaded from stable storage. *)
 
 val create :
   engine:Engine.t ->
@@ -48,6 +80,36 @@ val create :
     {!Types.output_dst}). With [config.commit_outputs] they are delivered
     only once the producing state can never be lost or rolled back
     (Section 6.5); otherwise immediately (optimistically). *)
+
+val create_rt :
+  rt:Transport.runtime ->
+  net:'m Types.wire Transport.t ->
+  app:('s, 'm) Types.app ->
+  id:int ->
+  n:int ->
+  ?config:Types.config ->
+  ?tracer:Types.tracer ->
+  ?metrics:Metrics.Scope.t ->
+  ?stable:('s, 'm) stable_hooks ->
+  ?restore:('s, 'm) image ->
+  ?on_output:(pid:int -> seq:int -> 'm -> unit) ->
+  next_uid:(unit -> int) ->
+  unit ->
+  ('s, 'm) t
+(** Substrate-agnostic constructor behind {!create}. [stable] mirrors
+    stable-state transitions to an external store ({!null_hooks} by
+    default). [restore] rebuilds the process from a previously persisted
+    {!image} instead of a blank slate — the in-memory state stays at the
+    initial state until {!recover} restores and replays; no initial
+    checkpoint is taken. *)
+
+val recover : ('s, 'm) t -> unit
+(** Live-mode crash recovery for a process built with [?restore]: emits the
+    failure trace preamble (the pre-crash incarnation comes from the latest
+    persisted checkpoint) and runs the paper's Restart — restore the
+    maximum consistent checkpoint, replay the stable log, broadcast the
+    token, increment the incarnation, checkpoint. Raises [Invalid_argument]
+    if the checkpoint store is empty. *)
 
 val id : ('s, 'm) t -> int
 

@@ -1,0 +1,51 @@
+(** The transport and runtime seams between the protocol logic and its
+    substrate.
+
+    The Damani-Garg process in {!Process} (and the baselines that ride
+    along to the live runtime) never talk to the discrete-event engine or
+    the simulated network directly; they go through these two small
+    records. The simulation instantiates them from
+    {!Optimist_sim.Engine}/{!Optimist_net.Network} via the adapters below,
+    and the live runtime ([optimist.live]) instantiates them from a
+    wall-clock event loop and real sockets — the protocol code is shared
+    verbatim between the two modes. *)
+
+module Engine = Optimist_sim.Engine
+module Network = Optimist_net.Network
+module Trace = Optimist_obs.Trace
+
+(** The two traffic classes of the paper's network model: [Data] carries
+    application messages (droppable, reorderable), [Control] carries
+    tokens and recovery traffic (reliable). *)
+type lane = Data | Control
+
+(** First-class transport: what a protocol process needs from the fabric.
+    [set_down]/[set_up] gate delivery to a crashed endpoint (a no-op for
+    transports where crashes are real OS-process deaths). *)
+type 'a t = {
+  send : lane:lane -> src:int -> dst:int -> 'a -> unit;
+  broadcast : lane:lane -> src:int -> 'a -> unit;
+  set_handler : int -> ('a -> unit) -> unit;
+  set_down : int -> unit;
+  set_up : drop_held_data:bool -> int -> unit;
+}
+
+(** Scheduling and observability substrate: the current time (virtual or
+    wall-clock seconds), a one-shot timer, and the structured-trace
+    recorder. [daemon] timers must not keep an otherwise-quiescent
+    substrate alive (the simulation engine stops when only daemon events
+    remain; a live loop stops at its deadline regardless). *)
+type runtime = {
+  now : unit -> float;
+  schedule : daemon:bool -> delay:float -> (unit -> unit) -> unit;
+  tracer : unit -> Trace.t;
+}
+
+val of_network : 'a Network.t -> 'a t
+(** View a simulated network as a transport. Handlers receive the bare
+    payload (the envelope metadata is dropped — no protocol reads it). *)
+
+val of_engine : Engine.t -> runtime
+(** View the simulation engine as a runtime: virtual time, engine timers,
+    and the engine's trace recorder (read dynamically, so a recorder
+    installed after process creation is still picked up). *)

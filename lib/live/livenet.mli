@@ -1,0 +1,60 @@
+(** Real-socket transport: a mesh of Unix-domain datagram sockets.
+
+    Worker [i] binds [DIR/wi.sock]; sends go straight to the peer's
+    address, so there is no connection state to tear down when a peer is
+    SIGKILL-ed. The two lanes of {!Optimist_core.Transport.lane} map to:
+
+    - {b Data} — fire-and-forget. The actual [sendto] is delayed by a
+      seeded random jitter, so back-to-back sends genuinely reorder on
+      the wire; sends to a dead or unborn peer are dropped (a real
+      in-flight loss).
+    - {b Control} — reliable. Frames carry a sequence number, are
+      retained until acknowledged, and are retransmitted periodically;
+      receivers ack and de-duplicate. A control frame sent to a crashed
+      peer is therefore delivered to its next incarnation — the live
+      equivalent of the simulated network's queued control plane.
+
+    The transport's [set_down]/[set_up] are no-ops: crashes are real
+    process deaths here. *)
+
+module Transport = Optimist_core.Transport
+
+type 'a t
+
+val create :
+  ?jitter:float * float ->
+  ?retransmit_every:float ->
+  ?seq_base:int ->
+  loop:Loop.t ->
+  dir:string ->
+  me:int ->
+  n:int ->
+  seed:int64 ->
+  unit ->
+  'a t
+(** Binds [DIR/w<me>.sock] (unlinking any stale file), registers the
+    receive pump on [loop], and starts the retransmit timer. [jitter]
+    is the (min, max) Data-lane send delay in seconds (default 1–20 ms).
+    [seq_base] must be distinct per incarnation (e.g. [gen * 1_000_000])
+    so a restarted worker's control frames are not mistaken for
+    retransmits of its predecessor's. *)
+
+val sock_path : string -> int -> string
+(** [sock_path dir i] is worker [i]'s socket path. *)
+
+val wait_for_peers : 'a t -> timeout:float -> bool
+(** Block (sleeping in small steps) until every peer socket file exists;
+    [false] on timeout. Gen-0 startup barrier. *)
+
+val transport : 'a t -> 'a Transport.t
+
+val unacked_count : 'a t -> int
+(** Control frames not yet acknowledged. *)
+
+val stats : 'a t -> (string * int) list
+(** [sent_data], [sent_control], [retransmits], [received],
+    [send_errors]. *)
+
+val close : 'a t -> unit
+(** Deregister from the loop and close the socket (the path is left for
+    a successor incarnation to rebind). *)

@@ -1,0 +1,64 @@
+module Trace = Optimist_obs.Trace
+
+(* Merge the per-incarnation trace files of a live run into one globally
+   ordered JSONL stream the offline linter can consume.
+
+   Within one process, trace lines were flushed in emission order; across
+   processes only the shared wall-clock base orders them. Sorting by
+   timestamp alone is not enough: a Send and the Deliver it causes can
+   carry timestamps closer together than the clocks' resolution, and the
+   linter's OPT002 needs the Send first. So ties break causes-first
+   (Send/Token_sent before anything else), then by pid, and the sort is
+   stable so each process's own order is preserved. *)
+
+let is_trace_file name =
+  String.length name > 6
+  && String.sub name 0 6 = "trace."
+  && Filename.check_suffix name ".jsonl"
+
+let trace_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter is_trace_file
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+let cause_rank (e : Trace.event) =
+  match e.kind with Trace.Send _ | Trace.Token_sent _ -> 0 | _ -> 1
+
+let order a b =
+  let c = Float.compare a.Trace.at b.Trace.at in
+  if c <> 0 then c
+  else
+    let c = Int.compare (cause_rank a) (cause_rank b) in
+    if c <> 0 then c else Int.compare a.Trace.pid b.Trace.pid
+
+let run ~dir ~out =
+  let dropped = ref 0 in
+  let collect acc path =
+    Trace.fold_file path ~init:acc ~f:(fun acc ~line:_ ev ->
+        match ev with
+        | Ok e ->
+            (* Per-file schema headers are dropped; the merged stream
+               gets exactly one, written below. *)
+            if Trace.schema_of_event e = None then e :: acc else acc
+        | Error _ ->
+            (* A SIGKILL can tear the dying incarnation's last line. *)
+            incr dropped;
+            acc)
+  in
+  let events =
+    List.fold_left collect [] (trace_files dir)
+    |> List.rev |> List.stable_sort order
+  in
+  let oc = open_out_bin out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Trace.to_line Trace.schema_header);
+      output_char oc '\n';
+      List.iter
+        (fun e ->
+          output_string oc (Trace.to_line e);
+          output_char oc '\n')
+        events);
+  (List.length events, !dropped)

@@ -1,0 +1,15 @@
+(** Merge per-incarnation trace files into one lintable JSONL stream.
+
+    Collects every [trace.<pid>.g<gen>.jsonl] in the run directory,
+    drops the per-file schema headers and any torn trailing lines
+    (SIGKILL mid-write), and stably sorts by timestamp with ties broken
+    causes-first ([Send]/[Token_sent] before other kinds, then pid) so
+    the offline linter sees sends before their deliveries. The output
+    starts with a fresh schema header. *)
+
+val run : dir:string -> out:string -> int * int
+(** [(events, dropped)] — merged event count and unparsable lines
+    skipped. *)
+
+val trace_files : string -> string list
+(** The per-incarnation trace files of a run directory, sorted. *)

@@ -1,0 +1,109 @@
+(* On-disk stable storage for one live worker: the crash-surviving
+   counterpart of the in-memory {!Optimist_storage} structures. Values are
+   marshalled (all protocol data is closure-free); every append is flushed
+   to the OS immediately, so a SIGKILL — which loses user-space buffers but
+   not kernel page cache — cannot lose anything the protocol already
+   considers stable. Whole-file rewrites (truncate, token relog, meta) go
+   through a temp file + rename, so a kill mid-rewrite leaves the old
+   version intact.
+
+   A torn trailing record (killed mid-append) is discarded on load: the
+   hooks fire log-before-checkpoint, so dropping a torn log tail can only
+   lose entries no surviving checkpoint depends on. *)
+
+type t = {
+  dir : string;
+  mutable log_oc : out_channel;
+  mutable cp_oc : out_channel;
+}
+
+let log_file t = Filename.concat t.dir "log.bin"
+let cp_file t = Filename.concat t.dir "cps.bin"
+let tokens_file t = Filename.concat t.dir "tokens.bin"
+let meta_file t = Filename.concat t.dir "meta.bin"
+
+let append_flags = [ Open_append; Open_creat; Open_binary ]
+
+let open_ dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let t =
+    { dir; log_oc = stdout (* replaced below *); cp_oc = stdout }
+  in
+  t.log_oc <- open_out_gen append_flags 0o644 (log_file t);
+  t.cp_oc <- open_out_gen append_flags 0o644 (cp_file t);
+  t
+
+(* Read every complete marshalled value; stop silently at a torn tail. *)
+let read_values path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let acc = ref [] in
+        (try
+           while true do
+             acc := Marshal.from_channel ic :: !acc
+           done
+         with End_of_file | Failure _ -> ());
+        List.rev !acc)
+  end
+
+let rewrite path values =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  List.iter (fun v -> Marshal.to_channel oc v []) values;
+  close_out oc;
+  Sys.rename tmp path
+
+(* --- message log --- *)
+
+let append_log t entry =
+  Marshal.to_channel t.log_oc entry [];
+  flush t.log_oc
+
+let load_log t = Array.of_list (read_values (log_file t))
+
+let truncate_log t ~stable =
+  close_out_noerr t.log_oc;
+  let entries = read_values (log_file t) in
+  let rec take k = function
+    | x :: rest when k > 0 -> x :: take (k - 1) rest
+    | _ -> []
+  in
+  rewrite (log_file t) (take stable entries);
+  t.log_oc <- open_out_gen append_flags 0o644 (log_file t)
+
+(* --- checkpoints (stored as (position, payload) records) --- *)
+
+let append_checkpoint t ~position cp =
+  Marshal.to_channel t.cp_oc (position, cp) [];
+  flush t.cp_oc
+
+let load_checkpoints t =
+  (* File order is oldest first; callers want newest first. *)
+  List.rev_map (fun (position, cp) -> (cp, position)) (read_values (cp_file t))
+
+let discard_checkpoints_after t ~position =
+  close_out_noerr t.cp_oc;
+  let items = read_values (cp_file t) in
+  rewrite (cp_file t) (List.filter (fun (p, _) -> p <= position) items);
+  t.cp_oc <- open_out_gen append_flags 0o644 (cp_file t)
+
+(* --- tokens (full list relogged on every change, Section 6.3) --- *)
+
+let write_tokens t tokens = rewrite (tokens_file t) [ tokens ]
+
+let load_tokens t =
+  match read_values (tokens_file t) with [] -> [] | l :: _ -> l
+
+(* --- meta (worker generation counter) --- *)
+
+let write_gen t gen = rewrite (meta_file t) [ gen ]
+
+let load_gen t = match read_values (meta_file t) with [] -> 0 | g :: _ -> g
+
+let close t =
+  close_out_noerr t.log_oc;
+  close_out_noerr t.cp_oc

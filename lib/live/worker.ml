@@ -1,0 +1,233 @@
+module Types = Optimist_core.Types
+module Process = Optimist_core.Process
+module Pessimistic = Optimist_protocols.Pessimistic
+module Traffic = Optimist_workload.Traffic
+module Schedule = Optimist_workload.Schedule
+module Trace = Optimist_obs.Trace
+module Json = Optimist_obs.Json
+
+type protocol = Dg | Pessimist
+
+let protocol_name = function Dg -> "dg" | Pessimist -> "pessimist"
+
+let protocol_of_string = function
+  | "dg" | "damani-garg" -> Some Dg
+  | "pessimist" | "pessimistic" -> Some Pessimist
+  | _ -> None
+
+type cfg = {
+  dir : string;
+  me : int;
+  n : int;
+  protocol : protocol;
+  gen : int;  (** incarnation: 0 on first spawn, +1 per restart *)
+  seed : int64;
+  base : float;  (** shared [Unix.gettimeofday] origin of the run *)
+  duration : float;  (** injection window, seconds *)
+  settle : float;  (** extra drain time after the window *)
+  rate : float;
+  hops : int;
+  pattern : Traffic.pattern;
+  jitter : float * float;
+}
+
+type outcome = {
+  counters : (string * int) list;
+  digest : int;
+  epoch : int;
+}
+
+let trace_file ~dir ~me ~gen =
+  Filename.concat dir (Printf.sprintf "trace.%d.g%d.jsonl" me gen)
+
+let stats_file ~dir ~me ~gen =
+  Filename.concat dir (Printf.sprintf "worker.%d.g%d.json" me gen)
+
+let store_dir ~dir ~me = Filename.concat dir (Printf.sprintf "store.w%d" me)
+
+(* Every incarnation writes its own trace file: a SIGKILL can tear the
+   last line of the dying incarnation's file, and per-file isolation
+   keeps that torn tail from corrupting the successor's stream. The
+   merge step (Merge) skips unparsable lines and re-sorts globally. *)
+let open_trace cfg =
+  let oc = open_out_bin (trace_file ~dir:cfg.dir ~me:cfg.me ~gen:cfg.gen) in
+  let tracer = Trace.create () in
+  (* Flush every line: a Send must be on disk before the datagram is on
+     the wire, otherwise a crash could yield a receiver-side Deliver
+     whose Send the merged trace never saw (a false OPT002). *)
+  Trace.attach tracer
+    (Trace.jsonl_sink (fun line ->
+         output_string oc line;
+         flush oc));
+  (tracer, oc)
+
+let write_stats cfg ~net_stats outcome =
+  let kv l = List.map (fun (k, v) -> (k, Json.Int v)) l in
+  let j =
+    Json.Obj
+      [
+        ("pid", Json.Int cfg.me);
+        ("gen", Json.Int cfg.gen);
+        ("protocol", Json.String (protocol_name cfg.protocol));
+        ("epoch", Json.Int outcome.epoch);
+        ("digest", Json.Int outcome.digest);
+        ("counters", Json.Obj (kv outcome.counters));
+        ("net", Json.Obj (kv net_stats));
+      ]
+  in
+  let path = stats_file ~dir:cfg.dir ~me:cfg.me ~gen:cfg.gen in
+  let oc = open_out path in
+  output_string oc (Json.to_string j);
+  output_string oc "\n";
+  close_out oc
+
+(* Injection schedule: derived from the run seed exactly like the
+   simulated runner derives it, shared by every worker, filtered down to
+   this pid. A restarted incarnation recomputes the same schedule and
+   keeps only the injections still in the future — the ones its
+   predecessor already absorbed are in the stable log and come back via
+   replay, so re-injecting them would double them. *)
+let schedule_injections cfg loop inject =
+  let injections =
+    Schedule.poisson_injections
+      ~seed:(Int64.add cfg.seed 7919L)
+      ~n:cfg.n ~rate:cfg.rate ~duration:cfg.duration ~hops:cfg.hops
+  in
+  let now = Loop.now loop in
+  List.iter
+    (fun (inj : Schedule.injection) ->
+      if inj.pid = cfg.me && inj.at > now then
+        Loop.schedule loop ~delay:(inj.at -. now) (fun () ->
+            inject (Traffic.fresh ~key:inj.key ~hops:inj.hops)))
+    injections
+
+(* Unique across incarnations: a replayed send must not collide with a
+   new one, so the generation is folded into the uid. *)
+let uid_gen cfg =
+  let seq = ref 0 in
+  fun () ->
+    incr seq;
+    (((cfg.gen lsl 28) + !seq) * cfg.n) + cfg.me
+
+let live_dg_config =
+  {
+    Types.default_config with
+    checkpoint_interval = 1.0;
+    flush_interval = 0.25;
+    restart_delay = 0.3;
+    retransmit_lost = true;
+  }
+
+let run_dg cfg loop net store =
+  let app = Traffic.app ~n:cfg.n cfg.pattern in
+  let stable =
+    {
+      Process.log_appended = List.iter (Store.append_log store);
+      log_truncated = (fun ~stable -> Store.truncate_log store ~stable);
+      checkpoint_recorded =
+        (fun ~position cp -> Store.append_checkpoint store ~position cp);
+      checkpoints_discarded_after =
+        (fun ~position -> Store.discard_checkpoints_after store ~position);
+      tokens_logged = (fun tokens -> Store.write_tokens store tokens);
+    }
+  in
+  let restore =
+    if cfg.gen = 0 then None
+    else
+      Some
+        {
+          Process.im_log = Store.load_log store;
+          im_checkpoints = Store.load_checkpoints store;
+          im_tokens = Store.load_tokens store;
+        }
+  in
+  let p =
+    Process.create_rt ~rt:(Loop.runtime loop) ~net ~app ~id:cfg.me ~n:cfg.n
+      ~config:live_dg_config ~stable ?restore ~next_uid:(uid_gen cfg) ()
+  in
+  Store.write_gen store cfg.gen;
+  if cfg.gen > 0 then Process.recover p;
+  schedule_injections cfg loop (Process.inject p);
+  Loop.run loop ~until:(cfg.duration +. cfg.settle);
+  Process.flush_now p;
+  {
+    counters = Process.counters p;
+    digest = Traffic.digest (Process.state p);
+    epoch = Process.version p;
+  }
+
+let live_pessimist_config =
+  {
+    Pessimistic.sync_write_latency = 0.002;
+    checkpoint_interval = 1.0;
+    restart_delay = 0.3;
+  }
+
+let run_pessimist cfg loop net store =
+  let app = Traffic.app ~n:cfg.n cfg.pattern in
+  let stable =
+    {
+      Pessimistic.log_appended = List.iter (Store.append_log store);
+      checkpoint_recorded =
+        (fun ~position s -> Store.append_checkpoint store ~position s);
+      epoch_recorded = (fun epoch -> Store.write_gen store epoch);
+    }
+  in
+  let restore =
+    if cfg.gen = 0 then None
+    else
+      Some
+        {
+          Pessimistic.im_log = Store.load_log store;
+          im_checkpoints = Store.load_checkpoints store;
+          im_epoch = Store.load_gen store;
+        }
+  in
+  let p =
+    Pessimistic.create_rt ~rt:(Loop.runtime loop) ~net ~app ~id:cfg.me
+      ~n:cfg.n ~config:live_pessimist_config ~stable ?restore
+      ~next_uid:(uid_gen cfg) ()
+  in
+  if cfg.gen > 0 then Pessimistic.recover p;
+  schedule_injections cfg loop (Pessimistic.inject p);
+  Loop.run loop ~until:(cfg.duration +. cfg.settle);
+  {
+    counters = Pessimistic.counters p;
+    digest = Traffic.digest (Pessimistic.state p);
+    epoch = Store.load_gen store;
+  }
+
+(* Each protocol branch builds its own Livenet so the transport's payload
+   type is fixed per branch (DG and the pessimistic baseline have
+   different wire types). *)
+let with_net cfg loop run =
+  let worker_seed =
+    Int64.add cfg.seed (Int64.of_int (1 + cfg.me + (cfg.gen * cfg.n)))
+  in
+  let net =
+    Livenet.create ~jitter:cfg.jitter
+      ~seq_base:(cfg.gen * 1_000_000)
+      ~loop ~dir:cfg.dir ~me:cfg.me ~n:cfg.n ~seed:worker_seed ()
+  in
+  (* Gen 0 waits for the whole mesh to bind before the protocol starts
+     talking; restarted incarnations find every socket already present. *)
+  if not (Livenet.wait_for_peers net ~timeout:10.0) then (
+    prerr_endline
+      (Printf.sprintf "worker %d: peers did not appear within 10s" cfg.me);
+    exit 1);
+  let store = Store.open_ (store_dir ~dir:cfg.dir ~me:cfg.me) in
+  let outcome = run (Livenet.transport net) store in
+  write_stats cfg ~net_stats:(Livenet.stats net) outcome;
+  Store.close store;
+  Livenet.close net
+
+let main cfg =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let tracer, trace_oc = open_trace cfg in
+  let loop = Loop.create ~tracer ~base:cfg.base () in
+  (match cfg.protocol with
+  | Dg -> with_net cfg loop (fun net store -> run_dg cfg loop net store)
+  | Pessimist ->
+      with_net cfg loop (fun net store -> run_pessimist cfg loop net store));
+  Trace.close tracer;
+  close_out_noerr trace_oc

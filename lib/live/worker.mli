@@ -1,0 +1,48 @@
+(** One live worker process: the protocol stack a forked child runs.
+
+    A worker assembles the shared protocol code from [lib/core] (or the
+    pessimistic baseline from [lib/protocols]) on top of the live
+    substrate: {!Loop} as the {!Optimist_core.Transport.runtime},
+    {!Livenet} as the transport, {!Store} behind the stable hooks, and a
+    per-incarnation JSONL trace file. Incarnation [gen = 0] starts
+    fresh; [gen > 0] (a supervisor respawn after a SIGKILL) reloads the
+    persisted image and runs the protocol's [recover] — the paper's
+    Restart over real stable storage. *)
+
+module Traffic = Optimist_workload.Traffic
+
+type protocol = Dg | Pessimist
+
+val protocol_name : protocol -> string
+val protocol_of_string : string -> protocol option
+
+type cfg = {
+  dir : string;  (** run directory: sockets, stores, traces *)
+  me : int;
+  n : int;
+  protocol : protocol;
+  gen : int;  (** incarnation: 0 on first spawn, +1 per restart *)
+  seed : int64;
+  base : float;  (** shared [Unix.gettimeofday] origin of the run *)
+  duration : float;  (** injection window, seconds *)
+  settle : float;  (** extra drain time after the window *)
+  rate : float;  (** injections per process per second *)
+  hops : int;
+  pattern : Traffic.pattern;
+  jitter : float * float;  (** Data-lane send-delay range, seconds *)
+}
+
+val trace_file : dir:string -> me:int -> gen:int -> string
+(** The JSONL trace this incarnation writes. *)
+
+val stats_file : dir:string -> me:int -> gen:int -> string
+(** The JSON summary (counters, digest, net stats) written on clean
+    exit; absent for incarnations that died to a SIGKILL. *)
+
+val store_dir : dir:string -> me:int -> string
+(** The worker's stable-storage directory (shared by incarnations). *)
+
+val main : cfg -> unit
+(** Run the worker to its deadline and write the stats file. Blocks;
+    meant to be the body of a forked child. Exits 1 if the peer sockets
+    do not appear. *)

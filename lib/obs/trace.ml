@@ -55,6 +55,38 @@ let kind_names =
     "custom";
   ]
 
+(* --- schema version --- *)
+
+(* Bumped whenever the JSONL encoding changes shape. Version 1 was the
+   headerless format of the first release; version 2 added the header
+   record itself. *)
+let schema_version = 2
+
+let schema_header =
+  {
+    at = 0.0;
+    pid = -1;
+    ver = 0;
+    clock = [||];
+    kind =
+      Custom
+        {
+          name = "schema";
+          detail = Printf.sprintf "version=%d" schema_version;
+        };
+  }
+
+let schema_of_event ev =
+  match ev.kind with
+  | Custom { name = "schema"; detail } ->
+      let prefix = "version=" in
+      let plen = String.length prefix in
+      if String.length detail > plen && String.sub detail 0 plen = prefix then
+        int_of_string_opt
+          (String.sub detail plen (String.length detail - plen))
+      else None
+  | _ -> None
+
 (* --- sinks --- *)
 
 type sink = { on_event : event -> unit; on_close : unit -> unit }
@@ -235,6 +267,10 @@ let fold_file path ~init ~f =
 let iter_file path ~f = fold_file path ~init:() ~f:(fun () ~line r -> f ~line r)
 
 let jsonl_sink write =
+  (* The header is the first line of every stream, so readers can refuse
+     (or warn about) traces from an incompatible writer. *)
+  write (to_line schema_header);
+  write "\n";
   {
     on_event =
       (fun ev ->

@@ -67,6 +67,23 @@ val kind_name : kind -> string
 val kind_names : string list
 (** Every discriminator {!kind_name} can produce (for CLI filters). *)
 
+(** {2 Schema version} *)
+
+val schema_version : int
+(** Version of the JSONL encoding this library writes. Bumped whenever
+    the format changes shape. *)
+
+val schema_header : event
+(** The header record every {!jsonl_sink} stream starts with: a
+    [Custom {name = "schema"; detail = "version=N"}] event at [t = 0]
+    with [pid = -1]. Rule engines skip [Custom] events, so the header is
+    inert for linting. *)
+
+val schema_of_event : event -> int option
+(** [Some v] iff the event is a schema header declaring version [v];
+    used by readers to detect version mismatches. Headerless traces
+    (written before version 2) simply never yield [Some _]. *)
+
 (** {2 Sinks} *)
 
 type sink
@@ -94,7 +111,9 @@ end
 
 val jsonl_sink : (string -> unit) -> sink
 (** One JSON object per event, one event per line (each write ends in
-    ['\n']). Deterministic byte-for-byte for a fixed event stream. *)
+    ['\n']). The {!schema_header} line is written immediately when the
+    sink is created. Deterministic byte-for-byte for a fixed event
+    stream. *)
 
 val chrome_sink : (string -> unit) -> sink
 (** Chrome [trace_event] (catapult) JSON, loadable in [about://tracing]

@@ -1,5 +1,6 @@
 module Engine = Optimist_sim.Engine
 module Network = Optimist_net.Network
+module Transport = Optimist_core.Transport
 module Message_log = Optimist_storage.Message_log
 module Checkpoint_store = Optimist_storage.Checkpoint_store
 module Metrics = Optimist_obs.Metrics
@@ -21,12 +22,35 @@ type config = {
 let default_config =
   { sync_write_latency = 0.5; checkpoint_interval = 200.0; restart_delay = 20.0 }
 
+(* Mirrors of the stable state for an external store (the live runtime);
+   the epoch is persisted so a rebuilt worker resumes counting
+   incarnations where the dead one stopped. *)
+type ('s, 'm) stable_hooks = {
+  log_appended : 'm entry list -> unit;
+  checkpoint_recorded : position:int -> 's -> unit;
+  epoch_recorded : int -> unit;
+}
+
+let null_hooks =
+  {
+    log_appended = (fun _ -> ());
+    checkpoint_recorded = (fun ~position:_ _ -> ());
+    epoch_recorded = (fun _ -> ());
+  }
+
+type ('s, 'm) image = {
+  im_log : 'm entry array;
+  im_checkpoints : ('s * int) list; (* newest first *)
+  im_epoch : int;
+}
+
 type ('s, 'm) t = {
   pid : int;
-  engine : Engine.t;
-  net : 'm wire Network.t;
+  rt : Transport.runtime;
+  net : 'm wire Transport.t;
   app : ('s, 'm) app;
   config : config;
+  stable_io : ('s, 'm) stable_hooks;
   next_uid : unit -> int;
   mutable state : 's;
   mutable alive : bool;
@@ -46,11 +70,18 @@ let state t = t.state
 let metrics t = t.metrics
 let counters t = Metrics.Scope.counters t.metrics
 
-let tr_on t = Trace.enabled (Engine.tracer t.engine)
+let tr_on t = Trace.enabled (t.rt.Transport.tracer ())
 
 let tr_emit t kind =
-  Trace.emit (Engine.tracer t.engine)
-    { at = Engine.now t.engine; pid = t.pid; ver = t.epoch; clock = [||]; kind }
+  Trace.emit
+    (t.rt.Transport.tracer ())
+    {
+      at = t.rt.Transport.now ();
+      pid = t.pid;
+      ver = t.epoch;
+      clock = [||];
+      kind;
+    }
 
 let send_app t dst data =
   if not t.replaying then begin
@@ -59,7 +90,8 @@ let send_app t dst data =
     Metrics.Scope.incr ~by:2 t.metrics "piggyback_words";
     let uid = t.next_uid () in
     if tr_on t then tr_emit t (Trace.Send { uid; dst });
-    Network.send t.net ~src:t.pid ~dst { data; sender = t.pid; uid }
+    t.net.Transport.send ~lane:Transport.Data ~src:t.pid ~dst
+      { data; sender = t.pid; uid }
   end
 
 let run_app t ~src data =
@@ -72,22 +104,24 @@ let run_app t ~src data =
    run. A crash in the window between the write and the handler loses
    nothing: replay re-runs the handler from the stable log. *)
 let deliver t ?(uid = -1) ~src data =
-  Message_log.append t.log { e_data = data; e_sender = src };
+  let entry = { e_data = data; e_sender = src } in
+  Message_log.append t.log entry;
   Message_log.flush t.log;
+  t.stable_io.log_appended [ entry ];
   if tr_on t then
     tr_emit t (Trace.Log_flush { stable = Message_log.stable_length t.log });
   Metrics.Scope.incr
     ~by:(int_of_float (1000.0 *. t.config.sync_write_latency))
     t.metrics "blocked_time_x1000";
   let epoch = t.epoch in
-  ignore
-    (Engine.schedule t.engine ~delay:t.config.sync_write_latency (fun () ->
-         if t.alive && t.epoch = epoch then begin
-           Metrics.Scope.incr t.metrics "delivered";
-           if tr_on t then tr_emit t (Trace.Deliver { uid; src });
-           t.processed <- t.processed + 1;
-           run_app t ~src data
-         end))
+  t.rt.Transport.schedule ~daemon:false ~delay:t.config.sync_write_latency
+    (fun () ->
+      if t.alive && t.epoch = epoch then begin
+        Metrics.Scope.incr t.metrics "delivered";
+        if tr_on t then tr_emit t (Trace.Deliver { uid; src });
+        t.processed <- t.processed + 1;
+        run_app t ~src data
+      end)
 
 let inject t data =
   if t.alive then begin
@@ -98,11 +132,13 @@ let inject t data =
 let take_checkpoint t =
   Metrics.Scope.incr t.metrics "checkpoints";
   if tr_on t then tr_emit t (Trace.Checkpoint { position = t.processed });
-  Checkpoint_store.record t.checkpoints ~position:t.processed t.state
+  Checkpoint_store.record t.checkpoints ~position:t.processed t.state;
+  t.stable_io.checkpoint_recorded ~position:t.processed t.state
 
 let do_restart t =
   Metrics.Scope.incr t.metrics "restarts";
   t.epoch <- t.epoch + 1;
+  t.stable_io.epoch_recorded t.epoch;
   (match Checkpoint_store.latest t.checkpoints with
   | None -> assert false
   | Some (snapshot, position) ->
@@ -116,7 +152,7 @@ let do_restart t =
       t.processed <- Message_log.stable_length t.log);
   t.alive <- true;
   if tr_on t then tr_emit t (Trace.Restart { new_ver = t.epoch });
-  Network.set_up t.net t.pid;
+  t.net.Transport.set_up ~drop_held_data:false t.pid;
   take_checkpoint t
 
 let fail t =
@@ -124,53 +160,72 @@ let fail t =
     t.alive <- false;
     if tr_on t then tr_emit t Trace.Failure;
     Metrics.Scope.incr t.metrics "failures";
-    Network.set_down t.net t.pid;
-    ignore
-      (Engine.schedule t.engine ~delay:t.config.restart_delay (fun () ->
-           do_restart t))
+    t.net.Transport.set_down t.pid;
+    t.rt.Transport.schedule ~daemon:false ~delay:t.config.restart_delay
+      (fun () -> do_restart t)
   end
 
-let handle_wire t (env : 'm wire Network.envelope) =
-  let w = env.Network.payload in
-  deliver t ~uid:w.uid ~src:w.sender w.data
+let handle_wire t (w : 'm wire) = deliver t ~uid:w.uid ~src:w.sender w.data
 
-let create ~engine ~net ~app ~id:pid ~n:_ ?(config = default_config) ?metrics
-    ~next_uid () =
+let create_rt ~rt ~net ~app ~id:pid ~n:_ ?(config = default_config) ?metrics
+    ?(stable = null_hooks) ?restore:image ~next_uid () =
   let metrics =
     match metrics with
     | Some m -> m
     | None -> Metrics.Scope.create ~protocol:"pessimistic" ~process:pid ()
   in
+  let log, checkpoints, epoch =
+    match image with
+    | None -> (Message_log.create (), Checkpoint_store.create (), 0)
+    | Some im ->
+        ( Message_log.of_stable im.im_log,
+          Checkpoint_store.of_items im.im_checkpoints,
+          im.im_epoch )
+  in
   let t =
     {
       pid;
-      engine;
+      rt;
       net;
       app;
       config;
+      stable_io = stable;
       next_uid;
       state = app.init pid;
       alive = true;
       replaying = false;
       processed = 0;
-      epoch = 0;
-      log = Message_log.create ();
-      checkpoints = Checkpoint_store.create ();
+      epoch;
+      log;
+      checkpoints;
       metrics;
     }
   in
-  Network.set_handler net pid (fun env -> handle_wire t env);
-  take_checkpoint t;
+  net.Transport.set_handler pid (fun w -> handle_wire t w);
+  (match image with None -> take_checkpoint t | Some _ -> ());
   let rec checkpoint_loop () =
     if t.alive then take_checkpoint t;
-    ignore
-      (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
-         checkpoint_loop)
+    rt.Transport.schedule ~daemon:true ~delay:config.checkpoint_interval
+      checkpoint_loop
   in
-  ignore
-    (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
-       checkpoint_loop);
+  rt.Transport.schedule ~daemon:true ~delay:config.checkpoint_interval
+    checkpoint_loop;
   t
+
+let create ~engine ~net ~app ~id ~n ?config ?metrics ~next_uid () =
+  create_rt ~rt:(Transport.of_engine engine) ~net:(Transport.of_network net)
+    ~app ~id ~n ?config ?metrics ~next_uid ()
+
+(* Live-mode crash recovery for a process built with [?restore]: emit the
+   failure record for the incarnation the crash killed, then run the
+   ordinary local restart (restore + replay + checkpoint). *)
+let recover t =
+  if Checkpoint_store.count t.checkpoints = 0 then
+    invalid_arg "Pessimistic.recover: empty checkpoint store";
+  Metrics.Scope.incr t.metrics "failures";
+  if tr_on t then tr_emit t Trace.Failure;
+  t.alive <- false;
+  do_restart t
 
 (* Trace-sanitizer rules (optimist.check ids) this baseline's event
    stream satisfies. No FTVCs are piggybacked, so the clock-carrying

@@ -16,8 +16,13 @@
 
 module Engine = Optimist_sim.Engine
 module Network = Optimist_net.Network
+module Transport = Optimist_core.Transport
 
 type 'm wire
+
+type 'm entry
+(** One logged delivery (payload + sender); opaque outside the live
+    runtime's stable store. *)
 
 type ('s, 'm) t
 
@@ -30,6 +35,23 @@ type config = {
 
 val default_config : config
 
+type ('s, 'm) stable_hooks = {
+  log_appended : 'm entry list -> unit;
+  checkpoint_recorded : position:int -> 's -> unit;
+  epoch_recorded : int -> unit;
+}
+(** Mirrors of the stable state for an external store (the live
+    runtime); the epoch is persisted so a rebuilt worker resumes
+    counting incarnations where the dead one stopped. *)
+
+val null_hooks : ('s, 'm) stable_hooks
+
+type ('s, 'm) image = {
+  im_log : 'm entry array;
+  im_checkpoints : ('s * int) list;  (** newest first *)
+  im_epoch : int;
+}
+
 val create :
   engine:Engine.t ->
   net:'m wire Network.t ->
@@ -41,6 +63,28 @@ val create :
   next_uid:(unit -> int) ->
   unit ->
   ('s, 'm) t
+
+val create_rt :
+  rt:Transport.runtime ->
+  net:'m wire Transport.t ->
+  app:('s, 'm) Optimist_core.Types.app ->
+  id:int ->
+  n:int ->
+  ?config:config ->
+  ?metrics:Optimist_obs.Metrics.Scope.t ->
+  ?stable:('s, 'm) stable_hooks ->
+  ?restore:('s, 'm) image ->
+  next_uid:(unit -> int) ->
+  unit ->
+  ('s, 'm) t
+(** Substrate-agnostic constructor behind {!create}; see
+    {!Optimist_core.Process.create_rt} for the conventions. *)
+
+val recover : ('s, 'm) t -> unit
+(** Live-mode crash recovery for a process built with [?restore]: emits
+    the failure record, restores the latest checkpoint, replays the
+    stable log, advances the epoch and re-checkpoints. Raises
+    [Invalid_argument] if the checkpoint store is empty. *)
 
 val make_net : Engine.t -> Network.config -> 'm wire Network.t
 

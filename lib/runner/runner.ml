@@ -64,6 +64,8 @@ type params = {
   hops : int;
   faults : Schedule.fault list;
   ordering : Network.ordering;
+  drop : float;  (** Data-message loss probability *)
+  dup : float;  (** Data-message duplication probability *)
   with_oracle : bool;
   trace : Trace.t;
   check : check_mode;
@@ -80,6 +82,8 @@ let default_params =
     hops = 6;
     faults = [];
     ordering = Network.Reorder;
+    drop = 0.0;
+    dup = 0.0;
     with_oracle = false;
     trace = Trace.null;
     check = No_check;
@@ -133,7 +137,12 @@ let injections params =
     ~rate:params.rate ~duration:params.duration ~hops:params.hops
 
 let net_config params =
-  { (Network.default_config ~n:params.n) with Network.ordering = params.ordering }
+  {
+    (Network.default_config ~n:params.n) with
+    Network.ordering = params.ordering;
+    drop_probability = params.drop;
+    duplicate_probability = params.dup;
+  }
 
 (* The Damani-Garg variants run through System (they share lib/core). *)
 let run_damani params ~hold ~monitor =

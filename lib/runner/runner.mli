@@ -48,6 +48,8 @@ type params = {
   hops : int;  (** forwarding chain length per injection *)
   faults : Schedule.fault list;
   ordering : Network.ordering;
+  drop : float;  (** Data-message loss probability, in [0, 1] *)
+  dup : float;  (** Data-message duplication probability, in [0, 1] *)
   with_oracle : bool;
       (** attach the ground-truth oracle (Damani-garg variants only) *)
   trace : Trace.t;

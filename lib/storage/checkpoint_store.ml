@@ -2,6 +2,20 @@ type 'cp t = { mutable items : ('cp * int) list (* newest first *) }
 
 let create () = { items = [] }
 
+let of_items items =
+  (match items with
+  | (_, newest) :: rest ->
+      let rec check last = function
+        | [] -> ()
+        | (_, p) :: tl ->
+            if p > last then
+              invalid_arg "Checkpoint_store.of_items: not newest-first"
+            else check p tl
+      in
+      check newest rest
+  | [] -> ());
+  { items }
+
 let record t ~position payload =
   (match t.items with
   | (_, last) :: _ when position < last ->

@@ -15,6 +15,10 @@ type 'cp t
 
 val create : unit -> 'cp t
 
+val of_items : ('cp * int) list -> 'cp t
+(** A store rebuilt from stable storage after a real crash: [(payload,
+    position)] pairs, newest first (positions non-increasing, checked). *)
+
 val record : 'cp t -> position:int -> 'cp -> unit
 (** Append a checkpoint for delivery position [position]. Positions must be
     non-decreasing. *)

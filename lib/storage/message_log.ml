@@ -20,6 +20,16 @@ let create () =
     counters = Counters.create ();
   }
 
+let of_stable entries =
+  {
+    stable = Array.copy entries;
+    stable_len = Array.length entries;
+    volatile = [];
+    volatile_len = 0;
+    floor = 0;
+    counters = Counters.create ();
+  }
+
 let append t entry =
   Counters.incr t.counters "appends";
   t.volatile <- entry :: t.volatile;

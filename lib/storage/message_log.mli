@@ -12,6 +12,11 @@ type 'entry t
 
 val create : unit -> 'entry t
 
+val of_stable : 'entry array -> 'entry t
+(** A log rebuilt from stable storage after a real crash: [entries] (in
+    position order) form the stable prefix, the volatile buffer starts
+    empty. The array is copied. *)
+
 val append : 'entry t -> 'entry -> unit
 (** Record one delivered message in the volatile buffer. *)
 

@@ -1,0 +1,266 @@
+(* Tests of the live runtime: the wall-clock loop, the datagram
+   transport, the on-disk store, trace merging, and one end-to-end
+   supervised run with a real SIGKILL. *)
+
+module Loop = Optimist_live.Loop
+module Livenet = Optimist_live.Livenet
+module Store = Optimist_live.Store
+module Merge = Optimist_live.Merge
+module Supervisor = Optimist_live.Supervisor
+module Worker = Optimist_live.Worker
+module Transport = Optimist_core.Transport
+module Trace = Optimist_obs.Trace
+module Check = Optimist_check.Check
+
+let tmp_counter = ref 0
+
+(* Keep paths short: AF_UNIX socket paths are limited to ~107 bytes. *)
+let temp_dir () =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "optlive-%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+(* --- loop --- *)
+
+let test_loop_timers_in_order () =
+  let loop = Loop.create ~base:(Unix.gettimeofday ()) () in
+  let fired = ref [] in
+  Loop.schedule loop ~delay:0.03 (fun () -> fired := 3 :: !fired);
+  Loop.schedule loop ~delay:0.01 (fun () -> fired := 1 :: !fired);
+  Loop.schedule loop ~delay:0.02 (fun () -> fired := 2 :: !fired);
+  Loop.run loop ~until:0.1;
+  Alcotest.(check (list int)) "fired by due time" [ 1; 2; 3 ]
+    (List.rev !fired)
+
+let test_loop_now_monotone () =
+  let loop = Loop.create ~base:(Unix.gettimeofday ()) () in
+  let prev = ref (Loop.now loop) in
+  for _ = 1 to 100 do
+    let t = Loop.now loop in
+    if t < !prev then Alcotest.fail "now went backwards";
+    prev := t
+  done
+
+(* --- store --- *)
+
+let test_store_roundtrip () =
+  let dir = Filename.concat (temp_dir ()) "st" in
+  let st = Store.open_ dir in
+  List.iter (Store.append_log st) [ "a"; "b"; "c"; "d" ];
+  Store.append_checkpoint st ~position:0 100;
+  Store.append_checkpoint st ~position:3 200;
+  Store.write_tokens st [ 7; 8 ];
+  Store.write_gen st 2;
+  Store.close st;
+  let st = Store.open_ dir in
+  Alcotest.(check (array string)) "log" [| "a"; "b"; "c"; "d" |]
+    (Store.load_log st);
+  Alcotest.(check (list (pair int int)))
+    "checkpoints newest first"
+    [ (200, 3); (100, 0) ]
+    (Store.load_checkpoints st);
+  Alcotest.(check (list int)) "tokens" [ 7; 8 ] (Store.load_tokens st);
+  Alcotest.(check int) "gen" 2 (Store.load_gen st);
+  Store.truncate_log st ~stable:2;
+  Store.discard_checkpoints_after st ~position:1;
+  Alcotest.(check (array string)) "truncated" [| "a"; "b" |] (Store.load_log st);
+  Alcotest.(check (list (pair int int)))
+    "discarded" [ (100, 0) ]
+    (Store.load_checkpoints st);
+  Store.close st
+
+let test_store_torn_tail () =
+  (* A SIGKILL mid-append leaves a torn trailing record; loading must
+     return the complete prefix and appends must keep working. *)
+  let dir = Filename.concat (temp_dir ()) "st" in
+  let st = Store.open_ dir in
+  Store.append_log st "one";
+  Store.append_log st "two";
+  Store.close st;
+  let log = Filename.concat dir "log.bin" in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 log in
+  let bytes = Marshal.to_bytes "torn" [] in
+  output_bytes oc (Bytes.sub bytes 0 (Bytes.length bytes - 3));
+  close_out oc;
+  let st = Store.open_ dir in
+  Alcotest.(check (array string)) "torn tail dropped" [| "one"; "two" |]
+    (Store.load_log st);
+  Store.close st
+
+(* --- livenet --- *)
+
+let test_livenet_data_and_control () =
+  let dir = temp_dir () in
+  let loop = Loop.create ~base:(Unix.gettimeofday ()) () in
+  let a = Livenet.create ~loop ~dir ~me:0 ~n:2 ~seed:11L () in
+  let b = Livenet.create ~loop ~dir ~me:1 ~n:2 ~seed:12L () in
+  let got = ref [] in
+  (Livenet.transport b).Transport.set_handler 1 (fun m -> got := m :: !got);
+  (Livenet.transport a).Transport.set_handler 0 (fun _ -> ());
+  let ta = Livenet.transport a in
+  ta.Transport.send ~lane:Transport.Data ~src:0 ~dst:1 "data";
+  ta.Transport.send ~lane:Transport.Control ~src:0 ~dst:1 "ctl";
+  Loop.run loop ~until:0.3;
+  Alcotest.(check (list string)) "both lanes delivered" [ "ctl"; "data" ]
+    (List.sort compare !got);
+  Alcotest.(check int) "control acked" 0 (Livenet.unacked_count a);
+  Livenet.close a;
+  Livenet.close b
+
+let test_livenet_control_retransmits_to_late_peer () =
+  (* A control frame sent before the destination even exists must reach
+     it once it binds — the live analogue of tokens queued across
+     downtime — and be delivered exactly once despite retransmission. *)
+  let dir = temp_dir () in
+  let loop = Loop.create ~base:(Unix.gettimeofday ()) () in
+  let a = Livenet.create ~retransmit_every:0.02 ~loop ~dir ~me:0 ~n:2 ~seed:3L () in
+  (Livenet.transport a).Transport.set_handler 0 (fun _ -> ());
+  (Livenet.transport a).Transport.send ~lane:Transport.Control ~src:0 ~dst:1
+    "tok";
+  Loop.run loop ~until:0.05;
+  Alcotest.(check int) "still unacked" 1 (Livenet.unacked_count a);
+  let b = Livenet.create ~loop ~dir ~me:1 ~n:2 ~seed:4L () in
+  let got = ref [] in
+  (Livenet.transport b).Transport.set_handler 1 (fun m -> got := m :: !got);
+  Loop.run loop ~until:0.4;
+  Alcotest.(check (list string)) "delivered exactly once" [ "tok" ] !got;
+  Alcotest.(check int) "acked after retry" 0 (Livenet.unacked_count a);
+  Livenet.close a;
+  Livenet.close b
+
+let test_livenet_data_to_dead_peer_is_dropped () =
+  let dir = temp_dir () in
+  let loop = Loop.create ~base:(Unix.gettimeofday ()) () in
+  let a = Livenet.create ~loop ~dir ~me:0 ~n:2 ~seed:5L () in
+  (Livenet.transport a).Transport.set_handler 0 (fun _ -> ());
+  (Livenet.transport a).Transport.send ~lane:Transport.Data ~src:0 ~dst:1
+    "vanishes";
+  Loop.run loop ~until:0.1;
+  let errors = List.assoc "send_errors" (Livenet.stats a) in
+  Alcotest.(check int) "counted as a wire drop" 1 errors;
+  Livenet.close a
+
+(* --- merge --- *)
+
+let test_merge_orders_and_deduplicates_headers () =
+  let dir = temp_dir () in
+  let write name events =
+    let oc = open_out (Filename.concat dir name) in
+    let tr = Trace.create () in
+    Trace.attach tr
+      (Trace.jsonl_sink (fun line ->
+           output_string oc line;
+           flush oc));
+    List.iter (Trace.emit tr) events;
+    Trace.close tr;
+    close_out oc
+  in
+  let ev at pid kind = { Trace.at; pid; ver = 0; clock = [||]; kind } in
+  (* The Deliver at t=0.5 is written before the Send with the same stamp
+     and lives in the other process's file; the merge must put the Send
+     first. *)
+  write "trace.0.g0.jsonl"
+    [
+      ev 0.5 0 (Trace.Send { uid = 9; dst = 1 });
+      ev 0.9 0 (Trace.Checkpoint { position = 0 });
+    ];
+  write "trace.1.g0.jsonl"
+    [
+      ev 0.5 1 (Trace.Deliver { uid = 9; src = 0 });
+      ev 0.1 1 (Trace.Log_flush { stable = 0 });
+    ];
+  let out = Filename.concat dir "merged.jsonl" in
+  let events, dropped = Merge.run ~dir ~out in
+  Alcotest.(check int) "all events merged" 4 events;
+  Alcotest.(check int) "nothing dropped" 0 dropped;
+  let kinds =
+    Trace.fold_file out ~init:[] ~f:(fun acc ~line:_ -> function
+      | Ok e -> Trace.kind_name e.Trace.kind :: acc
+      | Error msg -> Alcotest.fail msg)
+    |> List.rev
+  in
+  Alcotest.(check (list string))
+    "one header, sends before same-stamp delivers"
+    [ "custom"; "log_flush"; "send"; "deliver"; "checkpoint" ]
+    kinds
+
+(* --- end to end: real processes, real SIGKILL --- *)
+
+let lint_clean path =
+  match Check.Lint.run ~only:[] ~ignore:[] path with
+  | Error msg -> Alcotest.fail msg
+  | Ok report ->
+      Alcotest.(check int) "lint errors" 0 (Check.Lint.errors report);
+      Alcotest.(check int) "lint warnings" 0 (Check.Lint.warnings report);
+      Alcotest.(check int) "parse errors" 0 report.Check.Lint.parse_errors
+
+let test_supervised_run_with_crash () =
+  let dir = temp_dir () in
+  let cfg =
+    {
+      Supervisor.default_cfg with
+      Supervisor.dir;
+      n = 3;
+      seed = 42L;
+      duration = 1.6;
+      settle = 1.2;
+      rate = 6.0;
+      hops = 3;
+      faults = [ (0.7, 1) ];
+    }
+  in
+  let r = Supervisor.run cfg in
+  Alcotest.(check int) "one crash injected" 1 r.Supervisor.crashes;
+  Alcotest.(check int) "every final incarnation exits clean" 3
+    r.Supervisor.clean_exits;
+  Alcotest.(check bool) "events recorded" true (r.Supervisor.events > 50);
+  (* The killed worker's successor must actually have recovered: its
+     trace contains a restart of incarnation >= 1. *)
+  let restarted = ref false in
+  Trace.iter_file r.Supervisor.merged ~f:(fun ~line:_ -> function
+    | Ok { Trace.pid = 1; kind = Trace.Restart { new_ver }; _ }
+      when new_ver >= 1 ->
+        restarted := true
+    | _ -> ());
+  Alcotest.(check bool) "worker 1 restarted" true !restarted;
+  lint_clean r.Supervisor.merged
+
+let test_supervisor_validates () =
+  let check_invalid name cfg =
+    match Supervisor.validate cfg with
+    | () -> Alcotest.failf "%s accepted" name
+    | exception Invalid_argument _ -> ()
+  in
+  check_invalid "n=1" { Supervisor.default_cfg with Supervisor.n = 1 };
+  check_invalid "bad fault pid"
+    { Supervisor.default_cfg with Supervisor.faults = [ (1.0, 9) ] };
+  check_invalid "fault after window"
+    { Supervisor.default_cfg with Supervisor.faults = [ (99.0, 0) ] };
+  check_invalid "zero rate" { Supervisor.default_cfg with Supervisor.rate = 0.0 };
+  Supervisor.validate Supervisor.default_cfg
+
+let suite =
+  [
+    Alcotest.test_case "loop: timers fire in order" `Quick
+      test_loop_timers_in_order;
+    Alcotest.test_case "loop: clock is monotone" `Quick test_loop_now_monotone;
+    Alcotest.test_case "store: round-trip" `Quick test_store_roundtrip;
+    Alcotest.test_case "store: torn tail tolerated" `Quick test_store_torn_tail;
+    Alcotest.test_case "livenet: data and control delivery" `Quick
+      test_livenet_data_and_control;
+    Alcotest.test_case "livenet: control reaches a late peer" `Quick
+      test_livenet_control_retransmits_to_late_peer;
+    Alcotest.test_case "livenet: data to dead peer drops" `Quick
+      test_livenet_data_to_dead_peer_is_dropped;
+    Alcotest.test_case "merge: global order and single header" `Quick
+      test_merge_orders_and_deduplicates_headers;
+    Alcotest.test_case "supervised run with SIGKILL recovery" `Slow
+      test_supervised_run_with_crash;
+    Alcotest.test_case "supervisor validates parameters" `Quick
+      test_supervisor_validates;
+  ]

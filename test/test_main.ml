@@ -20,4 +20,5 @@ let () =
       ("system", Test_system.suite);
       ("obs", Test_obs.suite);
       ("check", Test_check.suite);
+      ("live", Test_live.suite);
     ]

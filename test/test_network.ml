@@ -84,6 +84,47 @@ let test_duplication () =
   Engine.run engine;
   Alcotest.(check (list string)) "duplicated" [ "twice"; "twice" ] (recv ())
 
+let test_duplication_fractional () =
+  (* A fractional duplicate probability duplicates some but not all
+     messages, and the duplicated.data counter accounts exactly for the
+     extra deliveries. *)
+  let engine, net =
+    make ~f:(fun c -> { c with Network.duplicate_probability = 0.5 }) ()
+  in
+  let recv = collect net 1 in
+  Network.set_handler net 0 (fun _ -> ());
+  Network.set_handler net 2 (fun _ -> ());
+  let sent = 200 in
+  for i = 1 to sent do
+    Network.send net ~src:0 ~dst:1 i
+  done;
+  Engine.run engine;
+  let got = recv () in
+  let delivered = List.length got in
+  Alcotest.(check bool) "some duplicated" true (delivered > sent);
+  Alcotest.(check bool) "not all duplicated" true (delivered < 2 * sent);
+  let dups =
+    Optimist_util.Stats.Counters.get (Network.stats net) "duplicated.data"
+  in
+  Alcotest.(check int) "duplicates counted" (delivered - sent) dups;
+  (* Every original arrives at least once: duplication never loses. *)
+  List.iter
+    (fun i ->
+      if not (List.mem i got) then
+        Alcotest.failf "message %d lost by duplication" i)
+    (List.init sent (fun i -> i + 1))
+
+let test_control_exempt_from_duplication () =
+  let engine, net =
+    make ~f:(fun c -> { c with Network.duplicate_probability = 1.0 }) ()
+  in
+  let recv = collect net 1 in
+  Network.set_handler net 0 (fun _ -> ());
+  Network.set_handler net 2 (fun _ -> ());
+  Network.send net ~traffic:Network.Control ~src:0 ~dst:1 "tok";
+  Engine.run engine;
+  Alcotest.(check (list string)) "control never duplicated" [ "tok" ] (recv ())
+
 let test_broadcast () =
   let engine, net = make ~n:4 () in
   let r1 = collect net 1 and r2 = collect net 2 and r3 = collect net 3 in
@@ -114,6 +155,47 @@ let test_partition_and_heal () =
     "held traffic released after heal"
     [ "data-across"; "same-side"; "token-across" ]
     (List.sort compare (r2 ()))
+
+let test_control_reliable_across_heal () =
+  (* The paper's control plane is reliable: even on a network configured
+     to lose and duplicate every Data message, tokens queued across a
+     partition arrive after heal — each exactly once, in send order. *)
+  let engine, net =
+    make ~n:4
+      ~f:(fun c ->
+        {
+          c with
+          Network.drop_probability = 1.0;
+          duplicate_probability = 1.0;
+        })
+      ()
+  in
+  let r2 = collect net 2 in
+  Network.set_handler net 0 (fun _ -> ());
+  Network.set_handler net 1 (fun _ -> ());
+  Network.set_handler net 3 (fun _ -> ());
+  Network.partition net [ [ 0; 1 ]; [ 2; 3 ] ];
+  for i = 1 to 5 do
+    Network.send net ~traffic:Network.Control ~src:0 ~dst:2
+      (Printf.sprintf "tok%d" i)
+  done;
+  Network.send net ~src:0 ~dst:2 "data-lost";
+  Engine.run engine;
+  Alcotest.(check (list string)) "nothing crosses the partition" [] (r2 ());
+  let held =
+    Optimist_util.Stats.Counters.get (Network.stats net) "held.partition"
+  in
+  Alcotest.(check bool) "crossing traffic held" true (held >= 5);
+  Network.heal net;
+  Engine.run engine;
+  let control_only =
+    List.filter (fun s -> String.length s >= 3 && String.sub s 0 3 = "tok")
+      (r2 ())
+  in
+  Alcotest.(check (list string))
+    "each token exactly once after heal"
+    [ "tok1"; "tok2"; "tok3"; "tok4"; "tok5" ]
+    (List.sort compare control_only)
 
 let test_implicit_partition_group () =
   let _, net = make ~n:4 () in
@@ -212,8 +294,14 @@ let suite =
     Alcotest.test_case "data loss, control exempt" `Quick
       test_drop_probability_one;
     Alcotest.test_case "duplication" `Quick test_duplication;
+    Alcotest.test_case "fractional duplication" `Quick
+      test_duplication_fractional;
+    Alcotest.test_case "control exempt from duplication" `Quick
+      test_control_exempt_from_duplication;
     Alcotest.test_case "broadcast" `Quick test_broadcast;
     Alcotest.test_case "partition and heal" `Quick test_partition_and_heal;
+    Alcotest.test_case "control reliable across heal" `Quick
+      test_control_reliable_across_heal;
     Alcotest.test_case "implicit partition group" `Quick
       test_implicit_partition_group;
     Alcotest.test_case "down endpoint: control held" `Quick

@@ -106,7 +106,14 @@ let test_jsonl_sink () =
       (fun l -> l <> "")
       (String.split_on_char '\n' (Buffer.contents buf))
   in
-  Alcotest.(check int) "one line per event" 2 (List.length lines);
+  Alcotest.(check int) "header plus one line per event" 3 (List.length lines);
+  (match Trace.of_line (List.hd lines) with
+  | Ok hd ->
+      Alcotest.(check (option int))
+        "first line is the schema header"
+        (Some Trace.schema_version)
+        (Trace.schema_of_event hd)
+  | Error m -> Alcotest.failf "header line unparsable: %s" m);
   List.iter
     (fun l ->
       match Trace.of_line l with
