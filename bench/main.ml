@@ -5,7 +5,7 @@
      dune exec bench/main.exe              # everything
      dune exec bench/main.exe -- table1    # one experiment
        (table1 | overhead | domino | recovery | concurrent | motivation |
-        ablation | extensions | micro | live)
+        ablation | extensions | micro | live | live_overhead)
 
    Experiment ids refer to DESIGN.md: T1 = paper Table 1, O1-O3 = Section
    6.9 overhead analysis, P1-P3 = the Section 1/6.8 properties. *)
@@ -20,6 +20,8 @@ module History = Optimist_history.History
 module Vclock = Optimist_clock.Vclock
 module Live = Optimist_live.Supervisor
 module Live_worker = Optimist_live.Worker
+module Live_merge = Optimist_live.Merge
+module Json = Optimist_obs.Json
 
 let section title = Format.printf "@.=== %s ===@.@." title
 
@@ -991,6 +993,105 @@ let live () =
   Format.printf "%s@." (Table.render t)
 
 (* ------------------------------------------------------------------ *)
+(* L2: what the telemetry layer itself costs                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The same fault-free live run three times: tracing disabled, tracing
+   into an in-memory ring (span/snapshot work done, nothing persisted),
+   and the default full JSONL persistence. Throughput comes from the
+   workers' own stats files, so the comparison measures the protocol
+   path, not the merge. *)
+let live_overhead () =
+  section "L2: live telemetry overhead (fault-free, Damani-Garg)";
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("telemetry", Table.Left);
+          ("wall (s)", Table.Right);
+          ("delivered", Table.Right);
+          ("delivered/s", Table.Right);
+          ("trace bytes", Table.Right);
+          ("vs off", Table.Right);
+        ]
+  in
+  let baseline = ref None in
+  List.iter
+    (fun mode ->
+      let name = Live_worker.telemetry_name mode in
+      let dir =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "optbench-tel-%s-%d" name (Unix.getpid ()))
+      in
+      let cfg =
+        {
+          Live.default_cfg with
+          Live.dir;
+          n = 4;
+          duration = 2.0;
+          settle = 1.0;
+          rate = 20.0;
+          telemetry = mode;
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      let _r = Live.run cfg in
+      let wall = Unix.gettimeofday () -. t0 in
+      let delivered =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f > 7
+               && String.sub f 0 7 = "worker."
+               && Filename.check_suffix f ".json")
+        |> List.fold_left
+             (fun acc f ->
+               let ic = open_in (Filename.concat dir f) in
+               let line = input_line ic in
+               close_in ic;
+               match Json.of_string line with
+               | Error _ -> acc
+               | Ok j -> (
+                   match
+                     Option.bind (Json.mem "counters" j) (fun c ->
+                         Option.bind (Json.mem "delivered" c) Json.to_int)
+                   with
+                   | Some d -> acc + d
+                   | None -> acc))
+             0
+      in
+      let tput = float_of_int delivered /. wall in
+      let trace_bytes =
+        List.fold_left
+          (fun acc f -> acc + (Unix.stat f).Unix.st_size)
+          0
+          (Live_merge.trace_files dir)
+      in
+      let vs_off =
+        match !baseline with
+        | None ->
+            baseline := Some tput;
+            "100%"
+        | Some b -> Printf.sprintf "%.0f%%" (100.0 *. tput /. b)
+      in
+      Table.add_row t
+        [
+          name;
+          fmt_float wall;
+          string_of_int delivered;
+          fmt_float tput;
+          string_of_int trace_bytes;
+          vs_off;
+        ])
+    [ Live_worker.Off; Live_worker.Ring; Live_worker.Full ];
+  Format.printf "%s@." (Table.render t);
+  Format.printf
+    "expected shape: spans and snapshots are cheap next to real sockets and \
+     fsyncs —@.";
+  Format.printf
+    "the three modes should deliver within a few percent of each other.@."
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let experiments =
@@ -1005,6 +1106,7 @@ let () =
       ("extensions", extensions);
       ("micro", micro);
       ("live", live);
+      ("live_overhead", live_overhead);
     ]
   in
   let args = Array.to_list Sys.argv |> List.tl in

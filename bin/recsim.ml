@@ -25,6 +25,7 @@ module Network = Optimist_net.Network
 module Table = Optimist_util.Table
 module Live = Optimist_live.Supervisor
 module Live_worker = Optimist_live.Worker
+module Report = Optimist_obs.Report
 open Cmdliner
 
 (* --- validated numeric conversions ---
@@ -347,8 +348,8 @@ let trace_cmd =
             match Trace.schema_of_event e with
             | Some v ->
                 (* The header is bookkeeping, not a protocol event: check
-                   it, don't render it. *)
-                if v <> Trace.schema_version && !mismatch = None then
+                   it, don't render it. v2 and v3 both read fine. *)
+                if (not (Trace.schema_accepts v)) && !mismatch = None then
                   mismatch := Some v
             | None ->
                 let keep =
@@ -361,8 +362,8 @@ let trace_cmd =
     (match !mismatch with
     | Some v ->
         Printf.eprintf
-          "%s: %s: trace declares schema version %d but this reader expects \
-           %d\n"
+          "%s: %s: trace declares schema version %d but this reader accepts \
+           2..%d\n"
           file
           (if strict then "error" else "warning")
           v Trace.schema_version
@@ -553,8 +554,24 @@ let live_run_cmd =
       & info [ "restart-delay" ] ~docv:"SECONDS"
           ~doc:"Crash-to-respawn delay.")
   in
+  let telemetry_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("off", Live_worker.Off);
+               ("ring", Live_worker.Ring);
+               ("full", Live_worker.Full);
+             ])
+          Live_worker.Full
+      & info [ "telemetry" ] ~docv:"MODE"
+          ~doc:
+            "Worker telemetry: $(b,full) (JSONL trace files, the default), \
+             $(b,ring) (in-memory ring only) or $(b,off).")
+  in
   let action protocol n seed rate duration settle hops pattern faults
-      restart_delay out =
+      restart_delay telemetry out =
     let cfg =
       {
         Live.dir = out;
@@ -569,6 +586,7 @@ let live_run_cmd =
         faults;
         restart_delay;
         jitter = Live.default_cfg.Live.jitter;
+        telemetry;
       }
     in
     match Live.run cfg with
@@ -579,7 +597,9 @@ let live_run_cmd =
           n r.Live.crashes r.Live.clean_exits;
         Printf.printf "merged trace: %s (%d events, %d torn lines dropped)\n"
           r.Live.merged r.Live.events r.Live.dropped;
-        Printf.printf "lint it with: recsim check %s --strict\n" r.Live.merged
+        Printf.printf "chrome trace: %s\n" r.Live.chrome;
+        Printf.printf "lint it with: recsim check %s --strict\n" r.Live.merged;
+        Printf.printf "profile it with: recsim report %s\n" r.Live.merged
     | exception Invalid_argument msg ->
         Printf.eprintf "recsim live run: %s\n" msg;
         exit 2
@@ -592,7 +612,59 @@ let live_run_cmd =
     Term.(
       const action $ protocol_arg $ n_arg $ seed_arg $ rate_arg
       $ duration_arg $ settle_arg $ hops_arg $ pattern_arg $ faults_arg
-      $ restart_delay_arg $ live_out_arg)
+      $ restart_delay_arg $ telemetry_arg $ live_out_arg)
+
+let report_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json); ("csv", `Csv) ]) `Text
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:"Output format: $(b,text), $(b,json) or $(b,csv).")
+
+let require_recovery_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "require-recovery" ]
+        ~doc:"Exit non-zero when the input contains no recovery records.")
+
+let print_report t format =
+  match format with
+  | `Text -> print_string (Report.to_text t)
+  | `Json -> print_endline (Report.to_json t)
+  | `Csv -> print_string (Report.to_csv t)
+
+(* --- report (offline recovery profiler) --- *)
+
+let report_cmd =
+  let files_arg =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "JSONL traces to aggregate (e.g. a live run's merged.jsonl; \
+             several runs may be given, and a fault-free run serves as the \
+             overhead baseline).")
+  in
+  let action files format require =
+    match Report.of_files files with
+    | Error msg ->
+        Printf.eprintf "recsim report: %s\n" msg;
+        exit 2
+    | Ok t ->
+        print_report t format;
+        if require && Report.total_recoveries t = 0 then begin
+          prerr_endline "recsim report: no recovery records in the input";
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Aggregate telemetry (spans, metric snapshots) out of JSONL traces \
+          into per-protocol recovery statistics.")
+    Term.(const action $ files_arg $ report_format_arg $ require_recovery_arg)
 
 let live_report_cmd =
   let dir_arg =
@@ -603,7 +675,36 @@ let live_report_cmd =
   in
   let field j name = Json.mem name j in
   let int_field j name = Option.bind (field j name) Json.to_int in
-  let action dir =
+  let action dir format require =
+    let merged = Live.merged_file dir in
+    let profile () =
+      if Sys.file_exists merged then
+        match Report.of_files [ merged ] with
+        | Ok t -> Some t
+        | Error msg ->
+            Printf.eprintf "recsim live report: %s\n" msg;
+            None
+      else None
+    in
+    let check_require t_opt =
+      if require then
+        match t_opt with
+        | Some t when Report.total_recoveries t > 0 -> ()
+        | _ ->
+            prerr_endline
+              "recsim live report: no recovery records in the merged trace";
+            exit 1
+    in
+    (match format with
+    | (`Json | `Csv) as f -> (
+        match profile () with
+        | Some t ->
+            print_report t f;
+            check_require (Some t)
+        | None ->
+            Printf.eprintf "recsim live report: no merged trace at %s\n" merged;
+            exit 2)
+    | `Text ->
     let run_path = Live.run_file dir in
     if not (Sys.file_exists run_path) then begin
       Printf.eprintf "recsim live report: %s not found (not a run directory?)\n"
@@ -690,22 +791,27 @@ let live_report_cmd =
             ]
     done;
     Format.printf "%s@." (Table.render t);
-    let merged = Live.merged_file dir in
-    if Sys.file_exists merged then
-      match Check.Lint.run ~only:[] ~ignore:[] merged with
-      | Ok report ->
-          Printf.printf "sanitizer:    %d error(s), %d warning(s)%s\n"
-            (Check.Lint.errors report)
-            (Check.Lint.warnings report)
-            (match Check.Lint.schema_mismatch report with
-            | Some v -> Printf.sprintf " (schema mismatch: %d)" v
-            | None -> "")
-      | Error msg -> Printf.printf "sanitizer:    unavailable (%s)\n" msg
-    else Printf.printf "sanitizer:    no merged trace at %s\n" merged
+    (if Sys.file_exists merged then
+       match Check.Lint.run ~only:[] ~ignore:[] merged with
+       | Ok report ->
+           Printf.printf "sanitizer:    %d error(s), %d warning(s)%s\n"
+             (Check.Lint.errors report)
+             (Check.Lint.warnings report)
+             (match Check.Lint.schema_mismatch report with
+             | Some v -> Printf.sprintf " (schema mismatch: %d)" v
+             | None -> "")
+       | Error msg -> Printf.printf "sanitizer:    unavailable (%s)\n" msg
+     else Printf.printf "sanitizer:    no merged trace at %s\n" merged);
+    let t_opt = profile () in
+    (match t_opt with
+    | Some t ->
+        Printf.printf "\nrecovery profile:\n%s" (Report.to_text t)
+    | None -> ());
+    check_require t_opt)
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Summarize a live run directory.")
-    Term.(const action $ dir_arg)
+    Term.(const action $ dir_arg $ report_format_arg $ require_recovery_arg)
 
 let live_cmd =
   Cmd.group
@@ -789,4 +895,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "recsim" ~doc)
-          [ run_cmd; trace_cmd; check_cmd; live_cmd; compare_cmd; list_cmd ]))
+          [
+            run_cmd;
+            trace_cmd;
+            check_cmd;
+            report_cmd;
+            live_cmd;
+            compare_cmd;
+            list_cmd;
+          ]))

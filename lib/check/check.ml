@@ -311,6 +311,8 @@ module Monitor = struct
     t.events <- t.events + 1;
     match ev.kind with
     | Trace.Custom _ -> () (* engine/network noise: no pid/ver guarantees *)
+    | Trace.Span _ | Trace.Snapshot _ ->
+        () (* telemetry records: no protocol semantics to check *)
     | kind ->
         let st = pstate t ev.pid in
         let flag id msg = viol t ?line ~at:ev.at ~pid:ev.pid ~ver:ev.ver id msg in
@@ -481,7 +483,7 @@ module Monitor = struct
                 c_clock = ev.clock;
               }
               :: t.commits
-        | Trace.Custom _ -> ());
+        | Trace.Span _ | Trace.Snapshot _ | Trace.Custom _ -> ());
         st.cur_ver <- ev.ver
 
   let parse_error t ~line msg =
@@ -556,7 +558,7 @@ module Lint = struct
 
   let schema_mismatch r =
     match r.declared_schema with
-    | Some v when v <> Trace.schema_version -> Some v
+    | Some v when not (Trace.schema_accepts v) -> Some v
     | Some _ | None -> None
 
   let resolve names =
@@ -660,7 +662,8 @@ module Lint = struct
     match schema_mismatch r with
     | Some v ->
         Format.fprintf ppf
-          "%s: trace declares schema version %d but this linter expects %d@\n"
+          "%s: trace declares schema version %d but this linter accepts \
+           2..%d@\n"
           r.file v Trace.schema_version
     | None -> ()
 

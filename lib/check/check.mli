@@ -147,9 +147,9 @@ module Lint : sig
   }
 
   val schema_mismatch : report -> int option
-  (** [Some v] when the trace declares schema version [v] and it differs
-      from {!Trace.schema_version}. Headerless traces are tolerated
-      ([None]). *)
+  (** [Some v] when the trace declares a schema version [v] this reader
+      does not accept (see {!Trace.schema_accepts}; v2 and v3 are both
+      fine). Headerless traces are tolerated ([None]). *)
 
   val run :
     ?only:string list ->

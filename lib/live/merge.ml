@@ -62,3 +62,24 @@ let run ~dir ~out =
           output_char oc '\n')
         events);
   (List.length events, !dropped)
+
+(* Telemetry-aware export: replay an already-merged JSONL stream through
+   the Chrome sink, so every worker's spans, snapshots and protocol
+   events land on one timeline (the sink groups by pid into per-process
+   tracks). Returns the number of events converted. *)
+let chrome ~src ~out =
+  let oc = open_out_bin out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let tr = Trace.create () in
+      Trace.attach tr (Trace.chrome_sink (output_string oc));
+      let count =
+        Trace.fold_file src ~init:0 ~f:(fun acc ~line:_ -> function
+          | Ok e when Trace.schema_of_event e = None ->
+              Trace.emit tr e;
+              acc + 1
+          | _ -> acc)
+      in
+      Trace.close tr;
+      count)

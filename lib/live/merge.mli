@@ -13,3 +13,9 @@ val run : dir:string -> out:string -> int * int
 
 val trace_files : string -> string list
 (** The per-incarnation trace files of a run directory, sorted. *)
+
+val chrome : src:string -> out:string -> int
+(** Convert a merged JSONL stream into one Chrome [trace_event] timeline
+    (spans as complete slices, snapshots as counter tracks, everything
+    else as instant events/flow arrows). Returns the number of events
+    converted. *)

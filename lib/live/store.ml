@@ -15,6 +15,13 @@ type t = {
   dir : string;
   mutable log_oc : out_channel;
   mutable cp_oc : out_channel;
+  (* I/O accounting, fed to the recovery telemetry: how many bytes the
+     store moved on behalf of this worker, and how many of those were
+     re-reads of previously persisted state. *)
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable read_ops : int;
+  mutable write_ops : int;
 }
 
 let log_file t = Filename.concat t.dir "log.bin"
@@ -27,7 +34,15 @@ let append_flags = [ Open_append; Open_creat; Open_binary ]
 let open_ dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let t =
-    { dir; log_oc = stdout (* replaced below *); cp_oc = stdout }
+    {
+      dir;
+      log_oc = stdout (* replaced below *);
+      cp_oc = stdout;
+      bytes_read = 0;
+      bytes_written = 0;
+      read_ops = 0;
+      write_ops = 0;
+    }
   in
   t.log_oc <- open_out_gen append_flags 0o644 (log_file t);
   t.cp_oc <- open_out_gen append_flags 0o644 (cp_file t);
@@ -50,59 +65,94 @@ let read_values path =
         List.rev !acc)
   end
 
-let rewrite path values =
+(* Counted variant: consumed bytes = where the last complete value
+   ended, which [read_values]'s channel position reflects even when it
+   stops at a torn tail. *)
+let read_values_c t path =
+  let vs = read_values path in
+  t.read_ops <- t.read_ops + 1;
+  (if Sys.file_exists path then
+     let consumed =
+       (* The torn tail (if any) was not decoded; approximate consumed
+          bytes by the file size, which is exact in the common case. *)
+       try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0
+     in
+     t.bytes_read <- t.bytes_read + consumed);
+  vs
+
+let rewrite t path values =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   List.iter (fun v -> Marshal.to_channel oc v []) values;
+  t.write_ops <- t.write_ops + 1;
+  t.bytes_written <- t.bytes_written + pos_out oc;
   close_out oc;
   Sys.rename tmp path
 
+let append t oc v =
+  let before = pos_out oc in
+  Marshal.to_channel oc v [];
+  t.write_ops <- t.write_ops + 1;
+  t.bytes_written <- t.bytes_written + (pos_out oc - before);
+  flush oc
+
 (* --- message log --- *)
 
-let append_log t entry =
-  Marshal.to_channel t.log_oc entry [];
-  flush t.log_oc
+let append_log t entry = append t t.log_oc entry
 
-let load_log t = Array.of_list (read_values (log_file t))
+let load_log t = Array.of_list (read_values_c t (log_file t))
 
 let truncate_log t ~stable =
   close_out_noerr t.log_oc;
-  let entries = read_values (log_file t) in
+  let entries = read_values_c t (log_file t) in
   let rec take k = function
     | x :: rest when k > 0 -> x :: take (k - 1) rest
     | _ -> []
   in
-  rewrite (log_file t) (take stable entries);
+  rewrite t (log_file t) (take stable entries);
   t.log_oc <- open_out_gen append_flags 0o644 (log_file t)
 
 (* --- checkpoints (stored as (position, payload) records) --- *)
 
-let append_checkpoint t ~position cp =
-  Marshal.to_channel t.cp_oc (position, cp) [];
-  flush t.cp_oc
+let append_checkpoint t ~position cp = append t t.cp_oc (position, cp)
 
 let load_checkpoints t =
   (* File order is oldest first; callers want newest first. *)
-  List.rev_map (fun (position, cp) -> (cp, position)) (read_values (cp_file t))
+  List.rev_map
+    (fun (position, cp) -> (cp, position))
+    (read_values_c t (cp_file t))
 
 let discard_checkpoints_after t ~position =
   close_out_noerr t.cp_oc;
-  let items = read_values (cp_file t) in
-  rewrite (cp_file t) (List.filter (fun (p, _) -> p <= position) items);
+  let items = read_values_c t (cp_file t) in
+  rewrite t (cp_file t) (List.filter (fun (p, _) -> p <= position) items);
   t.cp_oc <- open_out_gen append_flags 0o644 (cp_file t)
 
 (* --- tokens (full list relogged on every change, Section 6.3) --- *)
 
-let write_tokens t tokens = rewrite (tokens_file t) [ tokens ]
+let write_tokens t tokens = rewrite t (tokens_file t) [ tokens ]
 
 let load_tokens t =
-  match read_values (tokens_file t) with [] -> [] | l :: _ -> l
+  match read_values_c t (tokens_file t) with [] -> [] | l :: _ -> l
 
 (* --- meta (worker generation counter) --- *)
 
-let write_gen t gen = rewrite (meta_file t) [ gen ]
+let write_gen t gen = rewrite t (meta_file t) [ gen ]
 
-let load_gen t = match read_values (meta_file t) with [] -> 0 | g :: _ -> g
+let load_gen t =
+  match read_values_c t (meta_file t) with [] -> 0 | g :: _ -> g
+
+(* --- I/O accounting --- *)
+
+let stats t =
+  [
+    ("bytes_read", t.bytes_read);
+    ("bytes_written", t.bytes_written);
+    ("read_ops", t.read_ops);
+    ("write_ops", t.write_ops);
+  ]
+
+let bytes_read t = t.bytes_read
 
 let close t =
   close_out_noerr t.log_oc;

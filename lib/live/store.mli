@@ -47,4 +47,12 @@ val write_gen : t -> int -> unit
 val load_gen : t -> int
 (** 0 when never written. *)
 
+val stats : t -> (string * int) list
+(** I/O accounting since [open_]: [bytes_read], [bytes_written],
+    [read_ops], [write_ops]. Feeds the [recovery.bytes_reread]
+    telemetry. *)
+
+val bytes_read : t -> int
+(** Total bytes loaded from disk since [open_]. *)
+
 val close : t -> unit

@@ -26,6 +26,7 @@ type cfg = {
   faults : (float * int) list;  (** (seconds into the run, pid) SIGKILLs *)
   restart_delay : float;
   jitter : float * float;
+  telemetry : Worker.telemetry;
 }
 
 let default_cfg =
@@ -42,10 +43,12 @@ let default_cfg =
     faults = [];
     restart_delay = 0.3;
     jitter = (0.001, 0.02);
+    telemetry = Worker.Full;
   }
 
 type result = {
   merged : string;  (** path of the merged JSONL trace *)
+  chrome : string;  (** path of the merged Chrome trace *)
   events : int;
   dropped : int;  (** torn/unparsable trace lines skipped by the merge *)
   crashes : int;  (** SIGKILLs actually delivered *)
@@ -53,6 +56,7 @@ type result = {
 }
 
 let merged_file dir = Filename.concat dir "merged.jsonl"
+let chrome_file dir = Filename.concat dir "trace.chrome.json"
 let run_file dir = Filename.concat dir "run.json"
 
 let validate cfg =
@@ -106,6 +110,7 @@ let spawn cfg ~base ~pid ~gen =
       hops = cfg.hops;
       pattern = cfg.pattern;
       jitter = cfg.jitter;
+      telemetry = cfg.telemetry;
     }
   in
   match Unix.fork () with
@@ -203,10 +208,13 @@ let run cfg =
     reap ~blocking:true
   done;
   let events, dropped = Merge.run ~dir:cfg.dir ~out:(merged_file cfg.dir) in
+  ignore
+    (Merge.chrome ~src:(merged_file cfg.dir) ~out:(chrome_file cfg.dir));
   let summary =
     Json.Obj
       [
         ("protocol", Json.String (Worker.protocol_name cfg.protocol));
+        ("telemetry", Json.String (Worker.telemetry_name cfg.telemetry));
         ("n", Json.Int cfg.n);
         ("seed", Json.String (Int64.to_string cfg.seed));
         ("duration", Json.Float cfg.duration);
@@ -233,6 +241,7 @@ let run cfg =
   close_out oc;
   {
     merged = merged_file cfg.dir;
+    chrome = chrome_file cfg.dir;
     events;
     dropped;
     crashes = !crashes;

@@ -25,14 +25,16 @@ type cfg = {
   faults : (float * int) list;  (** (seconds into the run, pid) SIGKILLs *)
   restart_delay : float;  (** crash-to-respawn delay, seconds *)
   jitter : float * float;
+  telemetry : Worker.telemetry;  (** passed to every worker *)
 }
 
 val default_cfg : cfg
 (** 4 workers, Damani-Garg, 3 s of traffic at 8 msg/s/process + 2 s
-    settle, no faults. *)
+    settle, no faults, full telemetry. *)
 
 type result = {
   merged : string;  (** path of the merged JSONL trace *)
+  chrome : string;  (** path of the merged Chrome trace *)
   events : int;
   dropped : int;  (** torn/unparsable trace lines skipped by the merge *)
   crashes : int;  (** SIGKILLs actually delivered *)
@@ -40,6 +42,7 @@ type result = {
 }
 
 val merged_file : string -> string
+val chrome_file : string -> string
 val run_file : string -> string
 
 val validate : cfg -> unit

@@ -1,9 +1,12 @@
 module Types = Optimist_core.Types
 module Process = Optimist_core.Process
+module Transport = Optimist_core.Transport
 module Pessimistic = Optimist_protocols.Pessimistic
 module Traffic = Optimist_workload.Traffic
 module Schedule = Optimist_workload.Schedule
 module Trace = Optimist_obs.Trace
+module Span = Optimist_obs.Span
+module Metrics = Optimist_obs.Metrics
 module Json = Optimist_obs.Json
 
 type protocol = Dg | Pessimist
@@ -13,6 +16,16 @@ let protocol_name = function Dg -> "dg" | Pessimist -> "pessimist"
 let protocol_of_string = function
   | "dg" | "damani-garg" -> Some Dg
   | "pessimist" | "pessimistic" -> Some Pessimist
+  | _ -> None
+
+type telemetry = Off | Ring | Full
+
+let telemetry_name = function Off -> "off" | Ring -> "ring" | Full -> "full"
+
+let telemetry_of_string = function
+  | "off" -> Some Off
+  | "ring" -> Some Ring
+  | "full" -> Some Full
   | _ -> None
 
 type cfg = {
@@ -29,6 +42,7 @@ type cfg = {
   hops : int;
   pattern : Traffic.pattern;
   jitter : float * float;
+  telemetry : telemetry;
 }
 
 type outcome = {
@@ -48,20 +62,33 @@ let store_dir ~dir ~me = Filename.concat dir (Printf.sprintf "store.w%d" me)
 (* Every incarnation writes its own trace file: a SIGKILL can tear the
    last line of the dying incarnation's file, and per-file isolation
    keeps that torn tail from corrupting the successor's stream. The
-   merge step (Merge) skips unparsable lines and re-sorts globally. *)
-let open_trace cfg =
-  let oc = open_out_bin (trace_file ~dir:cfg.dir ~me:cfg.me ~gen:cfg.gen) in
-  let tracer = Trace.create () in
-  (* Flush every line: a Send must be on disk before the datagram is on
-     the wire, otherwise a crash could yield a receiver-side Deliver
-     whose Send the merged trace never saw (a false OPT002). *)
-  Trace.attach tracer
-    (Trace.jsonl_sink (fun line ->
-         output_string oc line;
-         flush oc));
-  (tracer, oc)
+   merge step (Merge) skips unparsable lines and re-sorts globally.
 
-let write_stats cfg ~net_stats outcome =
+   Telemetry modes: [Full] writes the JSONL file; [Ring] keeps events in
+   a bounded in-memory ring (instrumentation runs, nothing hits disk —
+   the overhead-bench middle ground); [Off] uses the null recorder, so
+   the [Trace.enabled] guards short-circuit everywhere. *)
+let open_trace cfg =
+  match cfg.telemetry with
+  | Off -> (Trace.null, None)
+  | Ring ->
+      let tracer = Trace.create () in
+      Trace.attach tracer (Trace.Ring.sink (Trace.Ring.create ()));
+      (tracer, None)
+  | Full ->
+      let oc = open_out_bin (trace_file ~dir:cfg.dir ~me:cfg.me ~gen:cfg.gen) in
+      let tracer = Trace.create () in
+      (* Flush every line: a Send must be on disk before the datagram is
+         on the wire, otherwise a crash could yield a receiver-side
+         Deliver whose Send the merged trace never saw (a false
+         OPT002). *)
+      Trace.attach tracer
+        (Trace.jsonl_sink (fun line ->
+             output_string oc line;
+             flush oc));
+      (tracer, Some oc)
+
+let write_stats cfg ~net_stats ~store_stats outcome =
   let kv l = List.map (fun (k, v) -> (k, Json.Int v)) l in
   let j =
     Json.Obj
@@ -69,10 +96,12 @@ let write_stats cfg ~net_stats outcome =
         ("pid", Json.Int cfg.me);
         ("gen", Json.Int cfg.gen);
         ("protocol", Json.String (protocol_name cfg.protocol));
+        ("telemetry", Json.String (telemetry_name cfg.telemetry));
         ("epoch", Json.Int outcome.epoch);
         ("digest", Json.Int outcome.digest);
         ("counters", Json.Obj (kv outcome.counters));
         ("net", Json.Obj (kv net_stats));
+        ("store", Json.Obj (kv store_stats));
       ]
   in
   let path = stats_file ~dir:cfg.dir ~me:cfg.me ~gen:cfg.gen in
@@ -118,21 +147,96 @@ let live_dg_config =
     retransmit_lost = true;
   }
 
-let run_dg cfg loop net store =
+(* --- telemetry plumbing --- *)
+
+let snapshot_period = 0.5
+
+let emit_snapshot cfg loop ~ver values =
+  let tracer = Loop.tracer loop in
+  if Trace.enabled tracer then
+    Trace.emit tracer
+      {
+        Trace.at = Loop.now loop;
+        pid = cfg.me;
+        ver;
+        clock = [||];
+        kind =
+          Trace.Snapshot { protocol = protocol_name cfg.protocol; values };
+      }
+
+(* Periodic metric snapshots, re-armed until the loop deadline drops the
+   pending timer. [ver] and [scope] are thunked because the snapshot
+   content must reflect the protocol state at fire time. *)
+let schedule_snapshots cfg loop ~ver scope =
+  if Trace.enabled (Loop.tracer loop) then begin
+    let rec tick () =
+      emit_snapshot cfg loop ~ver:(ver ())
+        (("gen", float_of_int cfg.gen) :: Metrics.Scope.snapshot (scope ()));
+      Loop.schedule loop ~delay:snapshot_period tick
+    in
+    Loop.schedule loop ~delay:snapshot_period tick
+  end
+
+let final_snapshot cfg loop ~ver scope =
+  emit_snapshot cfg loop ~ver
+    (("gen", float_of_int cfg.gen) :: Metrics.Scope.snapshot scope)
+
+(* Wrap the transport so every inbound datagram's protocol handling runs
+   under a span. One span per message is cheap next to the syscall that
+   delivered it, and it is what makes per-message latency visible in the
+   merged timeline. *)
+let span_transport sctx (net : 'a Transport.t) =
+  {
+    net with
+    Transport.set_handler =
+      (fun pid f ->
+        net.Transport.set_handler pid (fun m ->
+            Span.with_ sctx "handle" (fun () -> f m)));
+  }
+
+(* One recovery record per restarted incarnation: wall-clock latency of
+   the whole path (store reload -> process rebuild -> recover/replay),
+   plus what it cost. [depth] is the protocol's orphan-discard count
+   ("log_truncated"); a clean crash-replay recovery legitimately reports
+   0 — nothing that survived was rolled back. *)
+let emit_recovery cfg loop store ~ver ~latency ~replayed ~depth ~bytes_before =
+  emit_snapshot cfg loop ~ver
+    [
+      ("gen", float_of_int cfg.gen);
+      ("recovery.bytes_reread", float_of_int (Store.bytes_read store - bytes_before));
+      ("recovery.latency", latency);
+      ("recovery.messages_replayed", float_of_int replayed);
+      ("recovery.rollback_depth", float_of_int depth);
+    ]
+
+let run_dg cfg loop sctx net store =
   let app = Traffic.app ~n:cfg.n cfg.pattern in
+  let span name f = Span.with_ sctx name f in
   let stable =
     {
-      Process.log_appended = List.iter (Store.append_log store);
-      log_truncated = (fun ~stable -> Store.truncate_log store ~stable);
+      Process.log_appended =
+        (fun entries ->
+          span "store.log_flush" (fun () ->
+              List.iter (Store.append_log store) entries));
+      log_truncated =
+        (fun ~stable ->
+          span "store.truncate" (fun () -> Store.truncate_log store ~stable));
       checkpoint_recorded =
-        (fun ~position cp -> Store.append_checkpoint store ~position cp);
+        (fun ~position cp ->
+          span "store.checkpoint" (fun () ->
+              Store.append_checkpoint store ~position cp));
       checkpoints_discarded_after =
         (fun ~position -> Store.discard_checkpoints_after store ~position);
-      tokens_logged = (fun tokens -> Store.write_tokens store tokens);
+      tokens_logged =
+        (fun tokens ->
+          span "store.tokens" (fun () -> Store.write_tokens store tokens));
     }
   in
+  let recovering = cfg.gen > 0 in
+  let rec_span = if recovering then Some (Span.start sctx "recovery") else None in
+  let bytes_before = Store.bytes_read store in
   let restore =
-    if cfg.gen = 0 then None
+    if not recovering then None
     else
       Some
         {
@@ -142,14 +246,30 @@ let run_dg cfg loop net store =
         }
   in
   let p =
-    Process.create_rt ~rt:(Loop.runtime loop) ~net ~app ~id:cfg.me ~n:cfg.n
-      ~config:live_dg_config ~stable ?restore ~next_uid:(uid_gen cfg) ()
+    Process.create_rt ~rt:(Loop.runtime loop)
+      ~net:(span_transport sctx net)
+      ~app ~id:cfg.me ~n:cfg.n ~config:live_dg_config ~stable ?restore
+      ~next_uid:(uid_gen cfg) ()
   in
+  Span.set_version sctx (fun () -> Process.version p);
   Store.write_gen store cfg.gen;
-  if cfg.gen > 0 then Process.recover p;
+  (match rec_span with
+  | None -> ()
+  | Some sp ->
+      Process.recover p;
+      let latency = Span.finish sctx sp in
+      let m = Process.metrics p in
+      emit_recovery cfg loop store ~ver:(Process.version p) ~latency
+        ~replayed:(Metrics.Scope.get m "replayed")
+        ~depth:(Metrics.Scope.get m "log_truncated")
+        ~bytes_before);
+  schedule_snapshots cfg loop
+    ~ver:(fun () -> Process.version p)
+    (fun () -> Process.metrics p);
   schedule_injections cfg loop (Process.inject p);
   Loop.run loop ~until:(cfg.duration +. cfg.settle);
   Process.flush_now p;
+  final_snapshot cfg loop ~ver:(Process.version p) (Process.metrics p);
   {
     counters = Process.counters p;
     digest = Traffic.digest (Process.state p);
@@ -163,18 +283,27 @@ let live_pessimist_config =
     restart_delay = 0.3;
   }
 
-let run_pessimist cfg loop net store =
+let run_pessimist cfg loop sctx net store =
   let app = Traffic.app ~n:cfg.n cfg.pattern in
+  let span name f = Span.with_ sctx name f in
   let stable =
     {
-      Pessimistic.log_appended = List.iter (Store.append_log store);
+      Pessimistic.log_appended =
+        (fun entries ->
+          span "store.log_flush" (fun () ->
+              List.iter (Store.append_log store) entries));
       checkpoint_recorded =
-        (fun ~position s -> Store.append_checkpoint store ~position s);
+        (fun ~position s ->
+          span "store.checkpoint" (fun () ->
+              Store.append_checkpoint store ~position s));
       epoch_recorded = (fun epoch -> Store.write_gen store epoch);
     }
   in
+  let recovering = cfg.gen > 0 in
+  let rec_span = if recovering then Some (Span.start sctx "recovery") else None in
+  let bytes_before = Store.bytes_read store in
   let restore =
-    if cfg.gen = 0 then None
+    if not recovering then None
     else
       Some
         {
@@ -184,13 +313,28 @@ let run_pessimist cfg loop net store =
         }
   in
   let p =
-    Pessimistic.create_rt ~rt:(Loop.runtime loop) ~net ~app ~id:cfg.me
-      ~n:cfg.n ~config:live_pessimist_config ~stable ?restore
+    Pessimistic.create_rt ~rt:(Loop.runtime loop)
+      ~net:(span_transport sctx net)
+      ~app ~id:cfg.me ~n:cfg.n ~config:live_pessimist_config ~stable ?restore
       ~next_uid:(uid_gen cfg) ()
   in
-  if cfg.gen > 0 then Pessimistic.recover p;
+  Span.set_version sctx (fun () -> cfg.gen);
+  (match rec_span with
+  | None -> ()
+  | Some sp ->
+      Pessimistic.recover p;
+      let latency = Span.finish sctx sp in
+      let m = Pessimistic.metrics p in
+      (* The pessimistic baseline never rolls surviving state back. *)
+      emit_recovery cfg loop store ~ver:cfg.gen ~latency
+        ~replayed:(Metrics.Scope.get m "replayed")
+        ~depth:0 ~bytes_before);
+  schedule_snapshots cfg loop
+    ~ver:(fun () -> cfg.gen)
+    (fun () -> Pessimistic.metrics p);
   schedule_injections cfg loop (Pessimistic.inject p);
   Loop.run loop ~until:(cfg.duration +. cfg.settle);
+  final_snapshot cfg loop ~ver:cfg.gen (Pessimistic.metrics p);
   {
     counters = Pessimistic.counters p;
     digest = Traffic.digest (Pessimistic.state p);
@@ -217,7 +361,8 @@ let with_net cfg loop run =
     exit 1);
   let store = Store.open_ (store_dir ~dir:cfg.dir ~me:cfg.me) in
   let outcome = run (Livenet.transport net) store in
-  write_stats cfg ~net_stats:(Livenet.stats net) outcome;
+  write_stats cfg ~net_stats:(Livenet.stats net)
+    ~store_stats:(Store.stats store) outcome;
   Store.close store;
   Livenet.close net
 
@@ -225,9 +370,12 @@ let main cfg =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let tracer, trace_oc = open_trace cfg in
   let loop = Loop.create ~tracer ~base:cfg.base () in
+  let sctx =
+    Span.create ~tracer ~now:(fun () -> Loop.now loop) ~pid:cfg.me ()
+  in
   (match cfg.protocol with
-  | Dg -> with_net cfg loop (fun net store -> run_dg cfg loop net store)
+  | Dg -> with_net cfg loop (fun net store -> run_dg cfg loop sctx net store)
   | Pessimist ->
-      with_net cfg loop (fun net store -> run_pessimist cfg loop net store));
+      with_net cfg loop (fun net store -> run_pessimist cfg loop sctx net store));
   Trace.close tracer;
-  close_out_noerr trace_oc
+  Option.iter close_out_noerr trace_oc

@@ -16,6 +16,14 @@ type protocol = Dg | Pessimist
 val protocol_name : protocol -> string
 val protocol_of_string : string -> protocol option
 
+type telemetry =
+  | Off  (** null recorder: instrumentation short-circuits *)
+  | Ring  (** events into a bounded in-memory ring, nothing on disk *)
+  | Full  (** per-incarnation JSONL trace file (the default) *)
+
+val telemetry_name : telemetry -> string
+val telemetry_of_string : string -> telemetry option
+
 type cfg = {
   dir : string;  (** run directory: sockets, stores, traces *)
   me : int;
@@ -30,6 +38,7 @@ type cfg = {
   hops : int;
   pattern : Traffic.pattern;
   jitter : float * float;  (** Data-lane send-delay range, seconds *)
+  telemetry : telemetry;
 }
 
 val trace_file : dir:string -> me:int -> gen:int -> string

@@ -64,6 +64,14 @@ module Scope : sig
 
   val histogram : t -> string -> Stats.Histogram.t option
 
+  val snapshot : t -> (string * float) list
+  (** The scope flattened to one name-sorted list of floats — the
+      payload of a [Trace.Snapshot] telemetry record. Counters appear
+      under their own name; summaries contribute [name.count],
+      [name.mean], [name.max]; histograms contribute [name.count],
+      [name.p50], [name.p95] (interpolated quantiles). Deterministic
+      for a given scope state. *)
+
   val pp : Format.formatter -> t -> unit
 end
 
@@ -84,5 +92,14 @@ type agg = { count : int; total : float; mean : float; min : float; max : float 
 
 val aggregate : ?protocol:string -> registry -> string -> agg
 (** Every scope's observations for [name] folded together. *)
+
+val to_prom : registry -> string
+(** Prometheus text exposition of every scope in the registry. Metric
+    names are mangled to [optimist_<name>] with non-alphanumerics
+    replaced by ['_']; every sample carries [protocol] and [process]
+    labels. Counters and gauges are single samples; summaries expose
+    [_count]/[_sum]; histograms expose cumulative [_bucket{le="..."}]
+    series plus [_sum]/[_count]. Families are sorted by source name, so
+    the output is deterministic for a given registry state. *)
 
 val pp : Format.formatter -> registry -> unit

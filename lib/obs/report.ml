@@ -1,0 +1,435 @@
+module Table = Optimist_util.Table
+
+type recovery = {
+  pid : int;
+  gen : int;
+  latency : float;
+  rollback_depth : int;
+  messages_replayed : int;
+  bytes_reread : int;
+}
+
+type proto = {
+  protocol : string;
+  recoveries : recovery list; (* trace order *)
+  latency_p50 : float;
+  latency_p95 : float;
+  latency_max : float;
+  depth_hist : (int * int) list; (* depth -> count, sorted by depth *)
+  replayed_total : int;
+  bytes_total : int;
+  faulted_tput : float option; (* delivered/s over files with recoveries *)
+  baseline_tput : float option; (* delivered/s over files without *)
+  overhead : float option; (* 1 - faulted/baseline *)
+}
+
+type span_row = { name : string; count : int; total : float; max_dur : float }
+
+type t = {
+  files : string list;
+  events : int;
+  parse_errors : int;
+  schema_warnings : string list;
+  protocols : proto list; (* sorted by protocol name *)
+  spans : span_row list; (* sorted by name *)
+}
+
+let total_recoveries t =
+  List.fold_left (fun acc p -> acc + List.length p.recoveries) 0 t.protocols
+
+(* --- accumulation --- *)
+
+type file_proto = {
+  mutable fp_recoveries : recovery list; (* reverse trace order *)
+  (* (pid, gen) -> latest "delivered" counter value seen in a snapshot;
+     counters are per-incarnation, so generations sum rather than race. *)
+  fp_delivered : (int * int, float) Hashtbl.t;
+}
+
+type file_acc = {
+  protos : (string, file_proto) Hashtbl.t;
+  mutable t_min : float;
+  mutable t_max : float;
+  mutable any : bool;
+}
+
+let value vs name = List.assoc_opt name vs
+
+let feed_file acc path events parse_errors schema_warnings spans =
+  Trace.fold_file path ~init:() ~f:(fun () ~line:_ -> function
+    | Error _ -> incr parse_errors
+    | Ok ev -> (
+        incr events;
+        (match Trace.schema_of_event ev with
+        | Some v when not (Trace.schema_accepts v) ->
+            schema_warnings :=
+              Printf.sprintf
+                "%s: declares schema version %d (this reader accepts 2..%d)"
+                path v Trace.schema_version
+              :: !schema_warnings
+        | _ -> ());
+        if ev.Trace.pid >= 0 then begin
+          if (not acc.any) || ev.Trace.at < acc.t_min then
+            acc.t_min <- ev.Trace.at;
+          if (not acc.any) || ev.Trace.at > acc.t_max then
+            acc.t_max <- ev.Trace.at;
+          acc.any <- true
+        end;
+        match ev.Trace.kind with
+        | Trace.Span { name; dur } ->
+            let row =
+              match Hashtbl.find_opt spans name with
+              | Some r -> r
+              | None ->
+                  let r = ref (0, 0.0, 0.0) in
+                  Hashtbl.add spans name r;
+                  r
+            in
+            let c, tot, mx = !row in
+            row := (c + 1, tot +. dur, Float.max mx dur)
+        | Trace.Snapshot { protocol; values } -> (
+            let fp =
+              match Hashtbl.find_opt acc.protos protocol with
+              | Some fp -> fp
+              | None ->
+                  let fp =
+                    { fp_recoveries = []; fp_delivered = Hashtbl.create 8 }
+                  in
+                  Hashtbl.add acc.protos protocol fp;
+                  fp
+            in
+            let gen =
+              match value values "gen" with
+              | Some g -> int_of_float g
+              | None -> 0
+            in
+            (match value values "delivered" with
+            | Some d -> Hashtbl.replace fp.fp_delivered (ev.Trace.pid, gen) d
+            | None -> ());
+            match value values "recovery.latency" with
+            | None -> ()
+            | Some latency ->
+                let iget name =
+                  match value values name with
+                  | Some v -> int_of_float v
+                  | None -> 0
+                in
+                fp.fp_recoveries <-
+                  {
+                    pid = ev.Trace.pid;
+                    gen;
+                    latency;
+                    rollback_depth = iget "recovery.rollback_depth";
+                    messages_replayed = iget "recovery.messages_replayed";
+                    bytes_reread = iget "recovery.bytes_reread";
+                  }
+                  :: fp.fp_recoveries)
+        | _ -> ()))
+
+(* Nearest-rank quantile over an already-sorted array. *)
+let rank_quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else
+    let r = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (r - 1)))
+
+let mean_opt = function
+  | [] -> None
+  | xs ->
+      Some (List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs))
+
+let of_files paths =
+  if paths = [] then Error "no input files"
+  else
+    match
+      let events = ref 0 and parse_errors = ref 0 in
+      let schema_warnings = ref [] in
+      let spans = Hashtbl.create 16 in
+      (* protocol -> (faulted tputs, baseline tputs, recoveries rev) *)
+      let merged = Hashtbl.create 8 in
+      List.iter
+        (fun path ->
+          let acc =
+            { protos = Hashtbl.create 8; t_min = 0.0; t_max = 0.0; any = false }
+          in
+          feed_file acc path events parse_errors schema_warnings spans;
+          let elapsed = if acc.any then acc.t_max -. acc.t_min else 0.0 in
+          Hashtbl.iter
+            (fun protocol fp ->
+              let delivered =
+                Hashtbl.fold (fun _ v s -> s +. v) fp.fp_delivered 0.0
+              in
+              let tput =
+                if elapsed > 0.0 then Some (delivered /. elapsed) else None
+              in
+              let faulted, baseline, recs =
+                match Hashtbl.find_opt merged protocol with
+                | Some x -> x
+                | None -> ([], [], [])
+              in
+              let faulted, baseline =
+                match (tput, fp.fp_recoveries) with
+                | None, _ -> (faulted, baseline)
+                | Some x, [] -> (faulted, x :: baseline)
+                | Some x, _ -> (x :: faulted, baseline)
+              in
+              Hashtbl.replace merged protocol
+                (faulted, baseline, List.rev fp.fp_recoveries @ recs))
+            acc.protos)
+        paths;
+      let protocols =
+        Hashtbl.fold
+          (fun protocol (faulted, baseline, recs) acc ->
+            let lats =
+              List.map (fun r -> r.latency) recs
+              |> List.sort compare |> Array.of_list
+            in
+            let depth_hist =
+              let h = Hashtbl.create 8 in
+              List.iter
+                (fun r ->
+                  let d = r.rollback_depth in
+                  Hashtbl.replace h d (1 + Option.value ~default:0 (Hashtbl.find_opt h d)))
+                recs;
+              Hashtbl.fold (fun d c l -> (d, c) :: l) h []
+              |> List.sort (fun (a, _) (b, _) -> compare a b)
+            in
+            let faulted_tput = mean_opt faulted in
+            let baseline_tput = mean_opt baseline in
+            let overhead =
+              match (faulted_tput, baseline_tput) with
+              | Some f, Some b when b > 0.0 -> Some (1.0 -. (f /. b))
+              | _ -> None
+            in
+            {
+              protocol;
+              recoveries = recs;
+              latency_p50 = rank_quantile lats 0.5;
+              latency_p95 = rank_quantile lats 0.95;
+              latency_max =
+                (if Array.length lats = 0 then nan
+                 else lats.(Array.length lats - 1));
+              depth_hist;
+              replayed_total =
+                List.fold_left (fun a r -> a + r.messages_replayed) 0 recs;
+              bytes_total =
+                List.fold_left (fun a r -> a + r.bytes_reread) 0 recs;
+              faulted_tput;
+              baseline_tput;
+              overhead;
+            }
+            :: acc)
+          merged []
+        |> List.sort (fun a b -> String.compare a.protocol b.protocol)
+      in
+      let spans =
+        Hashtbl.fold
+          (fun name row acc ->
+            let count, total, max_dur = !row in
+            { name; count; total; max_dur } :: acc)
+          spans []
+        |> List.sort (fun a b -> String.compare a.name b.name)
+      in
+      {
+        files = paths;
+        events = !events;
+        parse_errors = !parse_errors;
+        schema_warnings = List.rev !schema_warnings;
+        protocols;
+        spans;
+      }
+    with
+    | t -> Ok t
+    | exception Sys_error msg -> Error msg
+
+(* --- rendering --- *)
+
+let ms x = Printf.sprintf "%.1f" (x *. 1000.0)
+
+let opt_tput = function
+  | None -> "-"
+  | Some x -> Printf.sprintf "%.0f" x
+
+let opt_pct = function
+  | None -> "-"
+  | Some x -> Printf.sprintf "%.1f%%" (x *. 100.0)
+
+let depth_hist_str hist =
+  if hist = [] then "-"
+  else
+    hist
+    |> List.map (fun (d, c) -> Printf.sprintf "%d:%d" d c)
+    |> String.concat " "
+
+let to_text t =
+  let buf = Buffer.create 1024 in
+  let tbl =
+    Table.create
+      ~columns:
+        [
+          ("protocol", Table.Left);
+          ("recov", Table.Right);
+          ("p50 ms", Table.Right);
+          ("p95 ms", Table.Right);
+          ("max ms", Table.Right);
+          ("depth d:n", Table.Left);
+          ("replayed", Table.Right);
+          ("bytes", Table.Right);
+          ("tput/s", Table.Right);
+          ("base/s", Table.Right);
+          ("ovhd", Table.Right);
+        ]
+  in
+  List.iter
+    (fun p ->
+      let n = List.length p.recoveries in
+      Table.add_row tbl
+        [
+          p.protocol;
+          string_of_int n;
+          (if n = 0 then "-" else ms p.latency_p50);
+          (if n = 0 then "-" else ms p.latency_p95);
+          (if n = 0 then "-" else ms p.latency_max);
+          depth_hist_str p.depth_hist;
+          string_of_int p.replayed_total;
+          string_of_int p.bytes_total;
+          opt_tput p.faulted_tput;
+          opt_tput p.baseline_tput;
+          opt_pct p.overhead;
+        ])
+    t.protocols;
+  Buffer.add_string buf (Table.render tbl);
+  if t.spans <> [] then begin
+    Buffer.add_string buf "\nspans:\n";
+    let stbl =
+      Table.create
+        ~columns:
+          [
+            ("name", Table.Left);
+            ("count", Table.Right);
+            ("total ms", Table.Right);
+            ("mean ms", Table.Right);
+            ("max ms", Table.Right);
+          ]
+    in
+    List.iter
+      (fun s ->
+        Table.add_row stbl
+          [
+            s.name;
+            string_of_int s.count;
+            ms s.total;
+            ms (s.total /. float_of_int (max 1 s.count));
+            ms s.max_dur;
+          ])
+      t.spans;
+    Buffer.add_string buf (Table.render stbl)
+  end;
+  List.iter
+    (fun w -> Buffer.add_string buf (Printf.sprintf "warning: %s\n" w))
+    t.schema_warnings;
+  Buffer.contents buf
+
+let num x = if Float.is_nan x then Json.Null else Json.Float x
+
+let to_json t =
+  let proto p =
+    Json.Obj
+      [
+        ("protocol", Json.String p.protocol);
+        ("recoveries", Json.Int (List.length p.recoveries));
+        ("latency_p50_s", num p.latency_p50);
+        ("latency_p95_s", num p.latency_p95);
+        ("latency_max_s", num p.latency_max);
+        ( "rollback_depth_hist",
+          Json.Obj
+            (List.map
+               (fun (d, c) -> (string_of_int d, Json.Int c))
+               p.depth_hist) );
+        ("messages_replayed", Json.Int p.replayed_total);
+        ("bytes_reread", Json.Int p.bytes_total);
+        ( "throughput_per_s",
+          match p.faulted_tput with None -> Json.Null | Some x -> Json.Float x
+        );
+        ( "baseline_per_s",
+          match p.baseline_tput with None -> Json.Null | Some x -> Json.Float x
+        );
+        ( "overhead",
+          match p.overhead with None -> Json.Null | Some x -> Json.Float x );
+        ( "per_recovery",
+          Json.List
+            (List.map
+               (fun r ->
+                 Json.Obj
+                   [
+                     ("pid", Json.Int r.pid);
+                     ("gen", Json.Int r.gen);
+                     ("latency_s", Json.Float r.latency);
+                     ("rollback_depth", Json.Int r.rollback_depth);
+                     ("messages_replayed", Json.Int r.messages_replayed);
+                     ("bytes_reread", Json.Int r.bytes_reread);
+                   ])
+               p.recoveries) );
+      ]
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("files", Json.List (List.map (fun f -> Json.String f) t.files));
+         ("events", Json.Int t.events);
+         ("parse_errors", Json.Int t.parse_errors);
+         ( "schema_warnings",
+           Json.List (List.map (fun w -> Json.String w) t.schema_warnings) );
+         ("recoveries", Json.Int (total_recoveries t));
+         ("protocols", Json.List (List.map proto t.protocols));
+         ( "spans",
+           Json.List
+             (List.map
+                (fun s ->
+                  Json.Obj
+                    [
+                      ("name", Json.String s.name);
+                      ("count", Json.Int s.count);
+                      ("total_s", Json.Float s.total);
+                      ("max_s", Json.Float s.max_dur);
+                    ])
+                t.spans) );
+       ])
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "protocol,recoveries,latency_p50_ms,latency_p95_ms,latency_max_ms,rollback_depth_hist,messages_replayed,bytes_reread,throughput_per_s,baseline_per_s,overhead\n";
+  List.iter
+    (fun p ->
+      let n = List.length p.recoveries in
+      Buffer.add_string buf
+        (String.concat ","
+           [
+             csv_escape p.protocol;
+             string_of_int n;
+             (if n = 0 then "" else ms p.latency_p50);
+             (if n = 0 then "" else ms p.latency_p95);
+             (if n = 0 then "" else ms p.latency_max);
+             csv_escape (depth_hist_str p.depth_hist);
+             string_of_int p.replayed_total;
+             string_of_int p.bytes_total;
+             (match p.faulted_tput with
+             | None -> ""
+             | Some x -> Printf.sprintf "%.3f" x);
+             (match p.baseline_tput with
+             | None -> ""
+             | Some x -> Printf.sprintf "%.3f" x);
+             (match p.overhead with
+             | None -> ""
+             | Some x -> Printf.sprintf "%.4f" x);
+           ]);
+      Buffer.add_char buf '\n')
+    t.protocols;
+  Buffer.contents buf

@@ -1,0 +1,67 @@
+(** Offline recovery profiler: aggregate telemetry out of trace files.
+
+    Consumes JSONL traces (typically a live run's [merged.jsonl], or
+    several runs' worth) and reduces the [Snapshot] and [Span] records
+    into per-protocol recovery statistics: recovery count, wall-clock
+    latency quantiles, a rollback-depth histogram, replay and re-read
+    totals, plus throughput — and, when both faulted and fault-free
+    inputs are present for a protocol, the failure-free overhead of the
+    faulted runs against that baseline.
+
+    Recovery records are [Snapshot]s carrying a ["recovery.latency"]
+    value (one is emitted per recovery by the live worker); periodic
+    snapshots contribute the ["delivered"] counter used for throughput.
+    Latency quantiles are exact (nearest-rank over the recorded
+    recoveries), not bucket approximations. *)
+
+type recovery = {
+  pid : int;
+  gen : int;  (** generation (incarnation) that performed the recovery *)
+  latency : float;  (** wall-clock seconds, failure detected -> caught up *)
+  rollback_depth : int;  (** log entries discarded as orphaned *)
+  messages_replayed : int;
+  bytes_reread : int;  (** bytes re-read from the on-disk store *)
+}
+
+type proto = {
+  protocol : string;
+  recoveries : recovery list;  (** trace order *)
+  latency_p50 : float;  (** [nan] when no recoveries *)
+  latency_p95 : float;
+  latency_max : float;
+  depth_hist : (int * int) list;  (** rollback depth -> count, sorted *)
+  replayed_total : int;
+  bytes_total : int;
+  faulted_tput : float option;
+      (** mean delivered/s over input files that contained recoveries *)
+  baseline_tput : float option;  (** same, over recovery-free files *)
+  overhead : float option;  (** [1 - faulted/baseline] when both exist *)
+}
+
+type span_row = { name : string; count : int; total : float; max_dur : float }
+
+type t = {
+  files : string list;
+  events : int;
+  parse_errors : int;
+  schema_warnings : string list;
+      (** files declaring schema versions outside 2..current *)
+  protocols : proto list;  (** sorted by protocol name *)
+  spans : span_row list;  (** sorted by span name *)
+}
+
+val of_files : string list -> (t, string) result
+(** Streams every file once. [Error] on an empty file list or an
+    unreadable file; unparsable lines are counted, not fatal. *)
+
+val total_recoveries : t -> int
+
+val to_text : t -> string
+(** Aligned per-protocol table (latencies in milliseconds) followed by a
+    span table and any schema warnings. *)
+
+val to_json : t -> string
+(** Single JSON object; latencies in seconds. *)
+
+val to_csv : t -> string
+(** One row per protocol with a header line. *)

@@ -13,6 +13,8 @@ type kind =
   | Rollback of { discarded : int }
   | Orphan_detected of { origin : int; ver : int; ts : int }
   | Output_commit of { seq : int }
+  | Span of { name : string; dur : float }
+  | Snapshot of { protocol : string; values : (string * float) list }
   | Custom of { name : string; detail : string }
 
 type event = {
@@ -36,6 +38,8 @@ let kind_name = function
   | Rollback _ -> "rollback"
   | Orphan_detected _ -> "orphan_detected"
   | Output_commit _ -> "output_commit"
+  | Span _ -> "span"
+  | Snapshot _ -> "snapshot"
   | Custom _ -> "custom"
 
 let kind_names =
@@ -52,6 +56,8 @@ let kind_names =
     "rollback";
     "orphan_detected";
     "output_commit";
+    "span";
+    "snapshot";
     "custom";
   ]
 
@@ -59,8 +65,13 @@ let kind_names =
 
 (* Bumped whenever the JSONL encoding changes shape. Version 1 was the
    headerless format of the first release; version 2 added the header
-   record itself. *)
-let schema_version = 2
+   record itself; version 3 added the wall-clock [span] and [snapshot]
+   telemetry kinds. *)
+let schema_version = 3
+
+(* Version 3 only adds kinds, so a v3 reader handles v2 streams as-is.
+   v1 streams have no header and therefore never reach this check. *)
+let schema_accepts v = v >= 2 && v <= schema_version
 
 let schema_header =
   {
@@ -131,6 +142,12 @@ let kind_fields = function
       [ ("origin", Json.Int origin); ("tver", Json.Int ver); ("tts", Json.Int ts) ]
   | Rollback { discarded } -> [ ("discarded", Json.Int discarded) ]
   | Output_commit { seq } -> [ ("seq", Json.Int seq) ]
+  | Span { name; dur } -> [ ("name", Json.String name); ("dur", Json.Float dur) ]
+  | Snapshot { protocol; values } ->
+      [
+        ("protocol", Json.String protocol);
+        ("values", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) values));
+      ]
   | Custom { name; detail } ->
       ("name", Json.String name)
       :: (if detail = "" then [] else [ ("detail", Json.String detail) ])
@@ -226,6 +243,39 @@ let of_json j =
     | "output_commit" ->
         let* seq = int_field "seq" in
         Ok (Output_commit { seq })
+    | "span" ->
+        let* name =
+          match Option.bind (Json.mem "name" j) Json.string_value with
+          | Some s -> Ok s
+          | None -> Error "missing field \"name\""
+        in
+        let* dur =
+          match Option.bind (Json.mem "dur" j) Json.to_float with
+          | Some x -> Ok x
+          | None -> Error "missing field \"dur\""
+        in
+        Ok (Span { name; dur })
+    | "snapshot" ->
+        let* protocol =
+          match Option.bind (Json.mem "protocol" j) Json.string_value with
+          | Some s -> Ok s
+          | None -> Error "missing field \"protocol\""
+        in
+        let* values =
+          match Json.mem "values" j with
+          | Some (Json.Obj fields) ->
+              let rec conv acc = function
+                | [] -> Ok (List.rev acc)
+                | (k, v) :: rest -> (
+                    match Json.to_float v with
+                    | Some x -> conv ((k, x) :: acc) rest
+                    | None ->
+                        Error (Printf.sprintf "snapshot value %S: not a number" k))
+              in
+              conv [] fields
+          | _ -> Error "missing object field \"values\""
+        in
+        Ok (Snapshot { protocol; values })
     | "custom" ->
         let name =
           Option.value ~default:""
@@ -339,6 +389,19 @@ let chrome_sink write =
         write_record (base ev "down" "E" []);
         write_record
           (base ev (kind_name ev.kind) "i" [ ("s", Json.String "t"); args ev ])
+    | Span { name; dur } ->
+        (* Complete slice: [at] is the span start, [dur] its length. *)
+        write_record
+          (base ev name "X"
+             [ ("dur", Json.Float (dur *. 1000.0)); args ev ])
+    | Snapshot { values; _ } ->
+        (* Counter track per metric family. *)
+        write_record
+          (base ev "metrics" "C"
+             [
+               ( "args",
+                 Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) values) );
+             ])
     | _ ->
         write_record
           (base ev (kind_name ev.kind) "i" [ ("s", Json.String "t"); args ev ]));
@@ -414,6 +477,11 @@ let pp_kind ppf = function
   | Orphan_detected { origin; ver; ts } ->
       Format.fprintf ppf "orphan_detected (%d,%d,%d)" origin ver ts
   | Output_commit { seq } -> Format.fprintf ppf "output_commit   seq=%d" seq
+  | Span { name; dur } ->
+      Format.fprintf ppf "span            %s dur=%.6fs" name dur
+  | Snapshot { protocol; values } ->
+      Format.fprintf ppf "snapshot        %s" protocol;
+      List.iter (fun (k, v) -> Format.fprintf ppf " %s=%g" k v) values
   | Custom { name; detail } ->
       if detail = "" then Format.fprintf ppf "custom          %s" name
       else Format.fprintf ppf "custom          %s %s" name detail

@@ -48,6 +48,13 @@ type kind =
       (** the Lemma 3 orphan test fired against this token *)
   | Output_commit of { seq : int }
       (** a buffered output passed the commit rule and was released *)
+  | Span of { name : string; dur : float }
+      (** wall-clock span: [at] is the (monotonic) start, [dur] the
+          elapsed seconds; renders as a complete ["X"] slice in the
+          Chrome exporter *)
+  | Snapshot of { protocol : string; values : (string * float) list }
+      (** periodic metrics snapshot for the named protocol; renders as a
+          ["C"] counter record in the Chrome exporter *)
   | Custom of { name : string; detail : string }
       (** anything else (network drops, holds, gossip, ...) *)
 
@@ -72,6 +79,12 @@ val kind_names : string list
 val schema_version : int
 (** Version of the JSONL encoding this library writes. Bumped whenever
     the format changes shape. *)
+
+val schema_accepts : int -> bool
+(** [schema_accepts v] is [true] when this reader understands streams
+    declaring version [v] — currently 2 and 3, since v3 only added the
+    [Span]/[Snapshot] kinds. Readers should warn (and fail only under
+    [--strict]) on unknown higher versions. *)
 
 val schema_header : event
 (** The header record every {!jsonl_sink} stream starts with: a
@@ -118,9 +131,10 @@ val jsonl_sink : (string -> unit) -> sink
 val chrome_sink : (string -> unit) -> sink
 (** Chrome [trace_event] (catapult) JSON, loadable in [about://tracing]
     and Perfetto: instant events per trace event, flow arrows from each
-    [Send] to its [Deliver] (matched by message uid), and a "down"
-    duration slice between [Failure] and [Restart]. The stream is only
-    valid JSON once the sink is closed (via {!close}). *)
+    [Send] to its [Deliver] (matched by message uid), a "down" duration
+    slice between [Failure] and [Restart], a complete ["X"] slice per
+    [Span], and a ["C"] counter record per [Snapshot]. The stream is
+    only valid JSON once the sink is closed (via {!close}). *)
 
 (** {2 Recorder} *)
 

@@ -48,25 +48,50 @@ module Histogram = struct
     bounds : float array;
     counts : int array; (* length = Array.length bounds + 1, last = overflow *)
     mutable count : int;
+    mutable sum : float;
   }
 
+  (* Half-decade steps computed as exact powers so that round values like
+     10.0 or 1000.0 compare equal to their bucket's upper bound instead of
+     drifting past it through repeated multiplication. *)
   let default_buckets =
-    let rec loop acc x =
-      if x > 1.0e6 then List.rev acc else loop (x :: acc) (x *. 3.1622776601683795)
+    let rec loop acc k =
+      let x = 10.0 ** (float_of_int k /. 2.0) in
+      if x > 1.0e6 then List.rev acc else loop (x :: acc) (k + 1)
     in
-    Array.of_list (loop [] 1.0)
+    Array.of_list (loop [] 0)
 
   let create ?(buckets = default_buckets) () =
-    { bounds = buckets; counts = Array.make (Array.length buckets + 1) 0; count = 0 }
+    {
+      bounds = buckets;
+      counts = Array.make (Array.length buckets + 1) 0;
+      count = 0;
+      sum = 0.0;
+    }
 
+  (* An observation equal to an upper bound lands in that bucket: buckets
+     are (lower, upper] intervals, matching Prometheus semantics. *)
   let add t x =
     let n = Array.length t.bounds in
     let rec find i = if i >= n || x <= t.bounds.(i) then i else find (i + 1) in
     let i = find 0 in
     t.counts.(i) <- t.counts.(i) + 1;
-    t.count <- t.count + 1
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. x
 
   let count t = t.count
+  let sum t = t.sum
+  let bounds t = Array.copy t.bounds
+  let counts t = Array.copy t.counts
+
+  let merge a b =
+    if a.bounds <> b.bounds then
+      invalid_arg "Histogram.merge: incompatible bucket bounds";
+    let t = create ~buckets:a.bounds () in
+    Array.iteri (fun i c -> t.counts.(i) <- c + b.counts.(i)) a.counts;
+    t.count <- a.count + b.count;
+    t.sum <- a.sum +. b.sum;
+    t
 
   let percentile t q =
     if t.count = 0 then nan
@@ -80,6 +105,33 @@ module Histogram = struct
           if float_of_int acc >= target then
             if i < n then t.bounds.(i) else infinity
           else loop (i + 1) acc
+      in
+      loop 0 0
+    end
+
+  (* Linear interpolation within the bucket containing the target rank,
+     assuming observations spread uniformly over (lower, upper]. The
+     overflow bucket has no upper bound, so its answer is the last finite
+     bound (a lower bound on the truth) — still monotone in [q]. *)
+  let quantile t q =
+    if t.count = 0 then nan
+    else begin
+      let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+      let target = q *. float_of_int t.count in
+      let n = Array.length t.bounds in
+      let rec loop i seen =
+        if i > n then if n = 0 then infinity else t.bounds.(n - 1)
+        else
+          let here = t.counts.(i) in
+          if here > 0 && float_of_int (seen + here) >= target then
+            if i >= n then (if n = 0 then infinity else t.bounds.(n - 1))
+            else
+              let lower = if i = 0 then 0.0 else t.bounds.(i - 1) in
+              let upper = t.bounds.(i) in
+              let into = (target -. float_of_int seen) /. float_of_int here in
+              let into = if into < 0.0 then 0.0 else into in
+              lower +. ((upper -. lower) *. into)
+          else loop (i + 1) (seen + here)
       in
       loop 0 0
     end

@@ -39,10 +39,33 @@ module Histogram : sig
       bin. The default covers 1..10^6 in half-decade steps. *)
 
   val add : t -> float -> unit
+  (** Buckets are [(lower, upper]] intervals: an observation equal to an
+      upper bound lands in that bucket deterministically. *)
+
   val count : t -> int
+  val sum : t -> float
+  (** Sum of all observations; 0 when empty. *)
+
+  val bounds : t -> float array
+  (** Copy of the finite upper bounds. *)
+
+  val counts : t -> int array
+  (** Copy of the per-bucket counts; one longer than [bounds], the last
+      entry being the overflow bucket. *)
+
+  val merge : t -> t -> t
+  (** Combine two histograms with identical bounds into a fresh one.
+      @raise Invalid_argument when the bounds differ. *)
+
   val percentile : t -> float -> float
   (** [percentile t 0.99] returns an upper bound of the bucket containing
       the given quantile; [nan] when empty. *)
+
+  val quantile : t -> float -> float
+  (** Bucket-interpolated quantile: linear interpolation inside the
+      bucket containing the target rank ([0.0] as the implicit lower edge
+      of the first bucket). Observations in the overflow bucket clamp to
+      the last finite bound. [nan] when empty. *)
 
   val pp : Format.formatter -> t -> unit
 end

@@ -137,6 +137,48 @@ let test_lint_filters () =
   | Ok _ -> Alcotest.fail "missing file accepted"
   | Error _ -> ()
 
+(* The reader tolerates every schema the writer ever produced (v2 before
+   telemetry, v3 with it) and skips span/snapshot records entirely; only
+   a version from the future trips the schema rule. *)
+let test_schema_tolerance () =
+  let header v =
+    Printf.sprintf
+      {|{"at":0.0,"pid":-1,"ver":0,"kind":"custom","name":"schema","detail":"version=%d"}|}
+      v
+  in
+  let span =
+    {|{"at":1.0,"pid":0,"ver":0,"kind":"span","name":"handle","dur":0.001}|}
+  in
+  let snap =
+    {|{"at":2.0,"pid":0,"ver":0,"kind":"snapshot","protocol":"dg","values":{"gen":0.0,"delivered":3.0}}|}
+  in
+  let run lines =
+    let path = Filename.temp_file "check_schema" ".jsonl" in
+    let oc = open_out path in
+    List.iter
+      (fun l ->
+        output_string oc l;
+        output_char oc '\n')
+      lines;
+    close_out oc;
+    let r =
+      match Check.Lint.run path with
+      | Ok r -> r
+      | Error m -> Alcotest.failf "lint: %s" m
+    in
+    Sys.remove path;
+    (ids r.Check.Lint.violations, Check.Lint.schema_mismatch r)
+  in
+  Alcotest.(check (pair (list string) (option int)))
+    "v2 header accepted" ([], None)
+    (run [ header 2 ]);
+  Alcotest.(check (pair (list string) (option int)))
+    "v3 telemetry records skipped" ([], None)
+    (run [ header 3; span; snap ]);
+  Alcotest.(check (pair (list string) (option int)))
+    "future version flagged (strict escalates)" ([], Some 4)
+    (run [ header 4; span ])
+
 (* --- monitor rules the fixtures don't reach --- *)
 
 let test_monitor_restart_pairing () =
@@ -262,6 +304,7 @@ let suite =
     Alcotest.test_case "violations carry line numbers" `Quick
       test_violation_line_numbers;
     Alcotest.test_case "rule filters" `Quick test_lint_filters;
+    Alcotest.test_case "schema tolerance" `Quick test_schema_tolerance;
     Alcotest.test_case "monitor: restart pairing" `Quick
       test_monitor_restart_pairing;
     Alcotest.test_case "monitor: unknown send" `Quick test_monitor_unknown_send;

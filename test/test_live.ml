@@ -10,6 +10,7 @@ module Supervisor = Optimist_live.Supervisor
 module Worker = Optimist_live.Worker
 module Transport = Optimist_core.Transport
 module Trace = Optimist_obs.Trace
+module Json = Optimist_obs.Json
 module Check = Optimist_check.Check
 
 let tmp_counter = ref 0
@@ -228,6 +229,54 @@ let test_supervised_run_with_crash () =
         restarted := true
     | _ -> ());
   Alcotest.(check bool) "worker 1 restarted" true !restarted;
+  (* Telemetry over the same recovery: the successor incarnation wraps
+     its catch-up in a "recovery" span and emits one snapshot with the
+     recovery.* profile. Replay happens below the tracer (replayed
+     deliveries are not re-traced), so the replay count is checked
+     against the worker's own stats file, not against Deliver events. *)
+  let rec_span = ref None and rec_snap = ref None in
+  Trace.iter_file r.Supervisor.merged ~f:(fun ~line:_ -> function
+    | Ok { Trace.pid = 1; kind = Trace.Span { name = "recovery"; dur }; _ } ->
+        rec_span := Some dur
+    | Ok { Trace.pid = 1; kind = Trace.Snapshot { values; _ }; _ }
+      when List.mem_assoc "recovery.latency" values ->
+        rec_snap := Some values
+    | _ -> ());
+  (match !rec_span with
+  | Some dur ->
+      Alcotest.(check bool) "recovery span latency positive" true (dur > 0.0)
+  | None -> Alcotest.fail "no recovery span for the killed worker");
+  (match !rec_snap with
+  | None -> Alcotest.fail "no recovery snapshot for the killed worker"
+  | Some values ->
+      let v name =
+        match List.assoc_opt name values with
+        | Some x -> x
+        | None -> Alcotest.failf "recovery snapshot lacks %s" name
+      in
+      Alcotest.(check bool) "snapshot latency positive" true
+        (v "recovery.latency" > 0.0);
+      Alcotest.(check (float 1e-9)) "snapshot names the generation" 1.0
+        (v "gen");
+      let replayed = int_of_float (v "recovery.messages_replayed") in
+      let ic = open_in (Filename.concat dir "worker.1.g1.json") in
+      let stats = input_line ic in
+      close_in ic;
+      let stats_replayed =
+        match Json.of_string stats with
+        | Error m -> Alcotest.failf "worker stats unparsable: %s" m
+        | Ok j -> (
+            match
+              Option.bind (Json.mem "counters" j) (fun c ->
+                  Option.bind (Json.mem "replayed" c) Json.to_int)
+            with
+            | Some n -> n
+            | None -> Alcotest.fail "worker stats lack counters.replayed")
+      in
+      Alcotest.(check int) "replay count agrees with the stats file"
+        stats_replayed replayed);
+  Alcotest.(check bool) "chrome timeline written" true
+    (Sys.file_exists r.Supervisor.chrome);
   lint_clean r.Supervisor.merged
 
 let test_supervisor_validates () =

@@ -4,6 +4,7 @@
 
 module Trace = Optimist_obs.Trace
 module Metrics = Optimist_obs.Metrics
+module Report = Optimist_obs.Report
 module Ftvc = Optimist_clock.Ftvc
 module Runner = Optimist_runner.Runner
 module Schedule = Optimist_workload.Schedule
@@ -64,6 +65,9 @@ let all_kinds =
     Trace.Output_commit { seq = 3 };
     Trace.Custom { name = "net.drop"; detail = "uid=12" };
     Trace.Custom { name = "held"; detail = "" };
+    Trace.Span { name = "recovery"; dur = 0.25 };
+    Trace.Snapshot
+      { protocol = "dg"; values = [ ("gen", 1.0); ("recovery.latency", 0.003) ] };
   ]
 
 let test_jsonl_roundtrip () =
@@ -141,6 +145,25 @@ let test_chrome_shape () =
   Alcotest.(check bool) "down slice opens" true (contains s {|"ph":"B"|});
   Alcotest.(check bool) "down slice closes" true (contains s {|"ph":"E"|})
 
+let test_chrome_telemetry_shape () =
+  let buf = Buffer.create 256 in
+  let tr = Trace.create () in
+  Trace.attach tr (Trace.chrome_sink (Buffer.add_string buf));
+  Trace.emit tr (ev ~at:1.0 (Trace.Span { name = "recovery"; dur = 0.25 }));
+  Trace.emit tr
+    (ev ~at:2.0
+       (Trace.Snapshot { protocol = "dg"; values = [ ("delivered", 4.0) ] }));
+  Trace.close tr;
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "span is a complete slice" true
+    (contains s {|"ph":"X"|});
+  Alcotest.(check bool) "span carries its duration" true
+    (contains s {|"dur":250.0|});
+  Alcotest.(check bool) "snapshot is a counter record" true
+    (contains s {|"ph":"C"|});
+  Alcotest.(check bool) "counters share one track" true
+    (contains s {|"name":"metrics"|})
+
 (* --- metrics --- *)
 
 let test_metrics_labels () =
@@ -191,6 +214,115 @@ let test_metrics_instruments () =
     (Metrics.Scope.histogram a "depth" <> None);
   Alcotest.(check bool) "histogram absent" true
     (Metrics.Scope.histogram b "depth" = None)
+
+let test_scope_snapshot () =
+  let s = Metrics.Scope.create ~protocol:"dg" ~process:0 () in
+  Metrics.Scope.incr ~by:2 s "sent";
+  Metrics.Scope.set_gauge s "held" 1.5;
+  Metrics.Scope.observe s "lat" 2.0;
+  Metrics.Scope.observe s "lat" 4.0;
+  let snap = Metrics.Scope.snapshot s in
+  let get k =
+    match List.assoc_opt k snap with
+    | Some v -> v
+    | None -> Alcotest.failf "snapshot lacks %s" k
+  in
+  Alcotest.(check (float 1e-9)) "counter" 2.0 (get "sent");
+  Alcotest.(check (float 1e-9)) "gauge" 1.5 (get "held");
+  Alcotest.(check (float 1e-9)) "summary count" 2.0 (get "lat.count");
+  Alcotest.(check (float 1e-9)) "summary mean" 3.0 (get "lat.mean");
+  Alcotest.(check (float 1e-9)) "summary max" 4.0 (get "lat.max");
+  let names = List.map fst snap in
+  Alcotest.(check (list string)) "name-sorted" (List.sort compare names) names
+
+(* One scope exercising each instrument family: the exposition text is
+   fully deterministic (families sorted by name, scopes in registration
+   order), so the whole page is a golden string. *)
+let test_metrics_prom () =
+  let reg = Metrics.registry () in
+  let a = Metrics.Scope.create ~registry:reg ~protocol:"dg" ~process:0 () in
+  let b = Metrics.Scope.create ~registry:reg ~protocol:"dg" ~process:1 () in
+  Metrics.Scope.incr ~by:3 a "delivered";
+  Metrics.Scope.incr b "delivered";
+  Metrics.Scope.set_gauge a "held" 2.5;
+  Metrics.Scope.observe a "lat" 1.0;
+  Metrics.Scope.observe a "lat" 3.0;
+  Metrics.Scope.observe_hist ~buckets:[| 1.0; 2.0 |] a "depth" 1.5;
+  Metrics.Scope.observe_hist ~buckets:[| 1.0; 2.0 |] a "depth" 5.0;
+  let expected =
+    String.concat "\n"
+      [
+        "# TYPE optimist_delivered counter";
+        {|optimist_delivered{protocol="dg",process="0"} 3|};
+        {|optimist_delivered{protocol="dg",process="1"} 1|};
+        "# TYPE optimist_depth histogram";
+        {|optimist_depth_bucket{protocol="dg",process="0",le="1"} 0|};
+        {|optimist_depth_bucket{protocol="dg",process="0",le="2"} 1|};
+        {|optimist_depth_bucket{protocol="dg",process="0",le="+Inf"} 2|};
+        {|optimist_depth_sum{protocol="dg",process="0"} 6.5|};
+        {|optimist_depth_count{protocol="dg",process="0"} 2|};
+        "# TYPE optimist_held gauge";
+        {|optimist_held{protocol="dg",process="0"} 2.5|};
+        "# TYPE optimist_lat summary";
+        {|optimist_lat_count{protocol="dg",process="0"} 2|};
+        {|optimist_lat_sum{protocol="dg",process="0"} 4|};
+        "";
+      ]
+  in
+  Alcotest.(check string) "prometheus exposition" expected
+    (Metrics.to_prom reg)
+
+(* --- recovery profiler --- *)
+
+(* Resolve fixtures next to the test binary so both `dune runtest`
+   (cwd = build sandbox) and `dune exec` (cwd = repo root) find them. *)
+let fixture file =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat "fixtures" file)
+
+let test_report_golden () =
+  let r =
+    match
+      Report.of_files
+        [ fixture "telemetry.jsonl"; fixture "telemetry_baseline.jsonl" ]
+    with
+    | Ok r -> r
+    | Error m -> Alcotest.failf "report: %s" m
+  in
+  Alcotest.(check int) "events" 14 r.Report.events;
+  Alcotest.(check int) "no parse errors" 0 r.Report.parse_errors;
+  Alcotest.(check (list string)) "no schema warnings" []
+    r.Report.schema_warnings;
+  Alcotest.(check int) "recoveries" 2 (Report.total_recoveries r);
+  (* Faulted file: 24 deliveries over 2 s; baseline: 60 over 2 s. The
+     nearest-rank quantiles over two recoveries are the two latencies. *)
+  let expected_csv =
+    "protocol,recoveries,latency_p50_ms,latency_p95_ms,latency_max_ms,\
+     rollback_depth_hist,messages_replayed,bytes_reread,throughput_per_s,\
+     baseline_per_s,overhead\n\
+     dg,2,2.0,4.0,4.0,1:1 2:1,9,400,12.000,30.000,0.6000\n"
+  in
+  Alcotest.(check string) "csv golden" expected_csv (Report.to_csv r);
+  (match List.find_opt (fun s -> s.Report.name = "handle") r.Report.spans with
+  | Some s ->
+      Alcotest.(check int) "handle span count" 2 s.Report.count;
+      Alcotest.(check (float 1e-9)) "handle span total" 0.004 s.Report.total;
+      Alcotest.(check (float 1e-9)) "handle span max" 0.003 s.Report.max_dur
+  | None -> Alcotest.fail "handle span missing from the report");
+  let text = Report.to_text r in
+  Alcotest.(check bool) "text table has the protocol row" true
+    (contains text "dg");
+  Alcotest.(check bool) "text table has the span section" true
+    (contains text "spans:")
+
+let test_report_errors () =
+  (match Report.of_files [] with
+  | Ok _ -> Alcotest.fail "empty file list accepted"
+  | Error _ -> ());
+  match Report.of_files [ fixture "no_such_file.jsonl" ] with
+  | Ok _ -> Alcotest.fail "missing file accepted"
+  | Error _ -> ()
 
 (* --- golden-trace determinism --- *)
 
@@ -251,8 +383,14 @@ let suite =
     Alcotest.test_case "jsonl rejects garbage" `Quick test_jsonl_rejects_garbage;
     Alcotest.test_case "jsonl sink lines" `Quick test_jsonl_sink;
     Alcotest.test_case "chrome export shape" `Quick test_chrome_shape;
+    Alcotest.test_case "chrome telemetry shape" `Quick
+      test_chrome_telemetry_shape;
     Alcotest.test_case "metrics label aggregation" `Quick test_metrics_labels;
     Alcotest.test_case "metrics instruments" `Quick test_metrics_instruments;
+    Alcotest.test_case "scope snapshot" `Quick test_scope_snapshot;
+    Alcotest.test_case "prometheus exposition golden" `Quick test_metrics_prom;
+    Alcotest.test_case "recovery report golden" `Quick test_report_golden;
+    Alcotest.test_case "recovery report errors" `Quick test_report_errors;
     Alcotest.test_case "golden trace determinism" `Quick
       test_golden_determinism;
   ]

@@ -186,6 +186,70 @@ let test_histogram_percentile () =
   Alcotest.(check (float 1e-9)) "p50" 1.0 (Stats.Histogram.percentile h 0.5);
   Alcotest.(check (float 1e-9)) "p99" 100.0 (Stats.Histogram.percentile h 0.99)
 
+let test_histogram_quantile () =
+  let h = Stats.Histogram.create ~buckets:[| 1.0; 2.0; 4.0 |] () in
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Stats.Histogram.quantile h 0.5));
+  for _ = 1 to 50 do
+    Stats.Histogram.add h 0.5
+  done;
+  for _ = 1 to 50 do
+    Stats.Histogram.add h 3.0
+  done;
+  (* The first bucket interpolates from an implicit lower edge of 0. *)
+  Alcotest.(check (float 1e-9)) "p25 interpolates in (0,1]" 0.5
+    (Stats.Histogram.quantile h 0.25);
+  Alcotest.(check (float 1e-9)) "p75 interpolates in (2,4]" 3.0
+    (Stats.Histogram.quantile h 0.75);
+  Alcotest.(check (float 1e-9)) "p100 is the bucket's upper edge" 4.0
+    (Stats.Histogram.quantile h 1.0);
+  Alcotest.(check (float 1e-9)) "q above 1 clamps" 4.0
+    (Stats.Histogram.quantile h 2.0);
+  let o = Stats.Histogram.create ~buckets:[| 1.0; 2.0; 4.0 |] () in
+  Stats.Histogram.add o 100.0;
+  Alcotest.(check (float 1e-9)) "overflow clamps to last finite bound" 4.0
+    (Stats.Histogram.quantile o 0.5)
+
+let test_histogram_merge () =
+  let mk vs =
+    let h = Stats.Histogram.create ~buckets:[| 1.0; 10.0 |] () in
+    List.iter (Stats.Histogram.add h) vs;
+    h
+  in
+  let a = mk [ 0.5; 0.5; 5.0 ] and b = mk [ 5.0; 50.0 ] in
+  let m = Stats.Histogram.merge a b in
+  Alcotest.(check int) "merged count" 5 (Stats.Histogram.count m);
+  Alcotest.(check (float 1e-9)) "merged sum" 61.0 (Stats.Histogram.sum m);
+  Alcotest.(check (list int))
+    "per-bucket counts add" [ 2; 2; 1 ]
+    (Array.to_list (Stats.Histogram.counts m));
+  Alcotest.(check int) "inputs untouched" 3 (Stats.Histogram.count a);
+  let other = Stats.Histogram.create ~buckets:[| 1.0; 2.0 |] () in
+  Alcotest.check_raises "mismatched bounds rejected"
+    (Invalid_argument "Histogram.merge: incompatible bucket bounds")
+    (fun () -> ignore (Stats.Histogram.merge a other))
+
+let test_histogram_bucket_edges () =
+  (* The default bounds are exact at integer decades, so an observation
+     of exactly 10.0 (or 1000.0) lands deterministically in the bucket
+     it bounds instead of spilling over through float drift. *)
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.add h 10.0;
+  Stats.Histogram.add h 1000.0;
+  let bounds = Stats.Histogram.bounds h in
+  let counts = Stats.Histogram.counts h in
+  let idx x =
+    let r = ref (-1) in
+    Array.iteri (fun i b -> if b = x then r := i) bounds;
+    if !r < 0 then Alcotest.failf "no exact bound %g in the default table" x;
+    !r
+  in
+  Alcotest.(check int) "10 lands at the 10-bound bucket" 1 (counts.(idx 10.0));
+  Alcotest.(check int) "1000 lands at the 1000-bound bucket" 1
+    (counts.(idx 1000.0));
+  Alcotest.(check (float 1e-9)) "percentile reports the edge" 10.0
+    (Stats.Histogram.percentile h 0.5)
+
 (* --- Table --- *)
 
 let test_table_render () =
@@ -232,6 +296,10 @@ let suite =
     Alcotest.test_case "summary empty" `Quick test_summary_empty;
     Alcotest.test_case "counters" `Quick test_counters;
     Alcotest.test_case "histogram percentile" `Quick test_histogram_percentile;
+    Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
+    Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    Alcotest.test_case "histogram bucket edges" `Quick
+      test_histogram_bucket_edges;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table bad row" `Quick test_table_bad_row;
   ]
