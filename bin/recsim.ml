@@ -23,56 +23,32 @@ module Schedule = Optimist_workload.Schedule
 module Traffic = Optimist_workload.Traffic
 module Network = Optimist_net.Network
 module Table = Optimist_util.Table
+module Validate = Optimist_util.Validate
 module Live = Optimist_live.Supervisor
 module Live_worker = Optimist_live.Worker
 module Report = Optimist_obs.Report
+module Soak = Optimist_soak.Soak
+module Scenario = Optimist_soak.Scenario
 open Cmdliner
 
 (* --- validated numeric conversions ---
 
    Nonsense values (0 processes, a negative rate, a probability of 3)
    must die at argument parsing with a one-line message, not as an
-   exception backtrace out of the simulation. *)
+   exception backtrace out of the simulation. The parsers live in
+   Optimist_util.Validate so the table-driven tests exercise exactly the
+   strings the CLI prints. *)
 
-let int_at_least min =
-  let parse s =
-    match int_of_string_opt s with
-    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
-    | Some v when v < min ->
-        Error (`Msg (Printf.sprintf "must be at least %d (got %d)" min v))
-    | Some v -> Ok v
-  in
-  Arg.conv (parse, Format.pp_print_int)
+let conv_of parse print =
+  Arg.conv ((fun s -> Result.map_error (fun m -> `Msg m) (parse s)), print)
 
-let positive_float =
-  let parse s =
-    match float_of_string_opt s with
-    | None -> Error (`Msg (Printf.sprintf "expected a number, got %S" s))
-    | Some v when v <= 0.0 || not (Float.is_finite v) ->
-        Error (`Msg (Printf.sprintf "must be positive (got %g)" v))
-    | Some v -> Ok v
-  in
-  Arg.conv (parse, Format.pp_print_float)
+let int_at_least min = conv_of (Validate.int_at_least min) Format.pp_print_int
+let positive_float = conv_of Validate.positive_float Format.pp_print_float
 
 let non_negative_float =
-  let parse s =
-    match float_of_string_opt s with
-    | None -> Error (`Msg (Printf.sprintf "expected a number, got %S" s))
-    | Some v when v < 0.0 || not (Float.is_finite v) ->
-        Error (`Msg (Printf.sprintf "must be non-negative (got %g)" v))
-    | Some v -> Ok v
-  in
-  Arg.conv (parse, Format.pp_print_float)
+  conv_of Validate.non_negative_float Format.pp_print_float
 
-let probability =
-  let parse s =
-    match float_of_string_opt s with
-    | None -> Error (`Msg (Printf.sprintf "expected a number, got %S" s))
-    | Some v when not (Float.is_finite v) || v < 0.0 || v > 1.0 ->
-        Error (`Msg (Printf.sprintf "must be a probability in [0, 1] (got %g)" v))
-    | Some v -> Ok v
-  in
-  Arg.conv (parse, Format.pp_print_float)
+let probability = conv_of Validate.probability Format.pp_print_float
 
 (* --- shared argument definitions --- *)
 
@@ -468,32 +444,25 @@ let check_cmd =
 
 (* --- live --- *)
 
+let live_protocol_names =
+  String.concat " | "
+    (List.map Live_worker.protocol_name Live_worker.all_protocols)
+
 let live_protocol_conv =
   let parse s =
     match Live_worker.protocol_of_string s with
     | Some p -> Ok p
     | None ->
         Error
-          (`Msg (Printf.sprintf "unknown live protocol %S (dg | pessimist)" s))
+          (`Msg
+            (Printf.sprintf "unknown live protocol %S (%s)" s
+               live_protocol_names))
   in
   let print ppf p = Format.pp_print_string ppf (Live_worker.protocol_name p) in
   Arg.conv (parse, print)
 
 let fault_conv =
-  let parse s =
-    match String.index_opt s ':' with
-    | Some i -> (
-        let at = String.sub s 0 i in
-        let pid = String.sub s (i + 1) (String.length s - i - 1) in
-        match (float_of_string_opt at, int_of_string_opt pid) with
-        | Some at, Some pid when at > 0.0 -> Ok (at, pid)
-        | Some at, Some _ ->
-            Error (`Msg (Printf.sprintf "fault time must be positive (got %g)" at))
-        | _ -> Error (`Msg (Printf.sprintf "expected SECONDS:PID, got %S" s)))
-    | None -> Error (`Msg (Printf.sprintf "expected SECONDS:PID, got %S" s))
-  in
-  let print ppf (at, pid) = Format.fprintf ppf "%g:%d" at pid in
-  Arg.conv (parse, print)
+  conv_of Validate.fault (fun ppf (at, pid) -> Format.fprintf ppf "%g:%d" at pid)
 
 let live_out_arg =
   Arg.(
@@ -508,7 +477,8 @@ let live_run_cmd =
       value
       & opt live_protocol_conv Live_worker.Dg
       & info [ "protocol"; "p" ] ~docv:"PROTOCOL"
-          ~doc:"Protocol to run live: $(b,dg) or $(b,pessimist).")
+          ~doc:
+            (Printf.sprintf "Protocol to run live: %s." live_protocol_names))
   in
   let rate_arg =
     Arg.(
@@ -547,6 +517,29 @@ let live_run_cmd =
             "SIGKILL worker $(b,PID) that many seconds into the run \
              (repeatable).")
   in
+  let failures_arg =
+    Arg.(
+      value
+      & opt (int_at_least 0) 0
+      & info [ "failures" ] ~docv:"K"
+          ~doc:
+            "Additionally SIGKILL $(docv) random workers at seeded times in \
+             the middle 80% of the injection window.")
+  in
+  let live_drop_arg =
+    Arg.(
+      value
+      & opt probability 0.0
+      & info [ "drop" ] ~docv:"P"
+          ~doc:"Probability of dropping each Data datagram at send time.")
+  in
+  let live_dup_arg =
+    Arg.(
+      value
+      & opt probability 0.0
+      & info [ "dup" ] ~docv:"P"
+          ~doc:"Probability of duplicating each Data datagram at send time.")
+  in
   let restart_delay_arg =
     Arg.(
       value
@@ -571,7 +564,18 @@ let live_run_cmd =
              $(b,ring) (in-memory ring only) or $(b,off).")
   in
   let action protocol n seed rate duration settle hops pattern faults
-      restart_delay telemetry out =
+      failures drop dup restart_delay telemetry out =
+    let random_faults =
+      if failures = 0 then []
+      else
+        Schedule.random_crashes
+          ~seed:(Int64.add seed 100L)
+          ~n ~failures
+          ~window:(0.1 *. duration, 0.9 *. duration)
+        |> List.filter_map (function
+             | Schedule.Crash { at; pid } -> Some (at, pid)
+             | _ -> None)
+    in
     let cfg =
       {
         Live.dir = out;
@@ -583,7 +587,13 @@ let live_run_cmd =
         rate;
         hops;
         pattern;
-        faults;
+        faults = List.sort compare (faults @ random_faults);
+        net_faults =
+          {
+            Optimist_live.Livenet.drop_rate = drop;
+            dup_rate = dup;
+            partitions = [];
+          };
         restart_delay;
         jitter = Live.default_cfg.Live.jitter;
         telemetry;
@@ -612,7 +622,158 @@ let live_run_cmd =
     Term.(
       const action $ protocol_arg $ n_arg $ seed_arg $ rate_arg
       $ duration_arg $ settle_arg $ hops_arg $ pattern_arg $ faults_arg
+      $ failures_arg $ live_drop_arg $ live_dup_arg
       $ restart_delay_arg $ telemetry_arg $ live_out_arg)
+
+(* --- live soak --- *)
+
+let live_soak_cmd =
+  let protocols_arg =
+    let protocols_conv =
+      let parse s =
+        if s = "all" then Ok Live_worker.all_protocols
+        else
+          match Live_worker.protocol_of_string s with
+          | Some p -> Ok [ p ]
+          | None ->
+              Error
+                (`Msg
+                  (Printf.sprintf "unknown live protocol %S (all | %s)" s
+                     live_protocol_names))
+      in
+      let print ppf ps =
+        Format.pp_print_string ppf
+          (String.concat "," (List.map Live_worker.protocol_name ps))
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt protocols_conv [ Live_worker.Dg ]
+      & info [ "protocol"; "p" ] ~docv:"PROTOCOL"
+          ~doc:
+            (Printf.sprintf
+               "Protocol matrix the scenarios cycle through: $(b,all) or one \
+                of %s."
+               live_protocol_names))
+  in
+  let scenarios_arg =
+    Arg.(
+      value
+      & opt (int_at_least 1) 10
+      & info [ "scenarios" ] ~docv:"N"
+          ~doc:"Number of randomized scenarios to generate and run.")
+  in
+  let shrink_budget_arg =
+    Arg.(
+      value
+      & opt (int_at_least 0) 12
+      & info [ "shrink-budget" ] ~docv:"RUNS"
+          ~doc:
+            "Maximum live runs the shrinker may spend per failing scenario \
+             (0 disables shrinking).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"TOKEN"
+          ~doc:
+            "Replay a single scenario instead of a campaign: a \
+             $(b,SEED:INDEX:PROTOCOL) token printed by a previous soak, or \
+             the path of a minimal-scenario JSON artifact.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "soak-run"
+      & info [ "out"; "o" ] ~docv:"DIR"
+          ~doc:"Campaign directory (scenario run dirs, campaign.jsonl).")
+  in
+  let print_scenario_result (s : Scenario.t) = function
+    | Error msg ->
+        Printf.printf "scenario %d (%s): ERROR %s\n" s.Scenario.sc_index
+          s.Scenario.sc_protocol msg
+    | Ok r ->
+        Printf.printf "scenario %d (%s): %s — %d crash(es), %d events%s%s\n"
+          s.Scenario.sc_index s.Scenario.sc_protocol
+          (if Soak.failed r then "FAILED" else "ok")
+          r.Soak.rr_crashes r.Soak.rr_events
+          (match r.Soak.rr_violations with
+          | [] -> ""
+          | vs ->
+              ", violations: "
+              ^ String.concat ", "
+                  (List.map
+                     (fun (id, n) -> Printf.sprintf "%s x%d" id n)
+                     vs))
+          (match r.Soak.rr_oracle with
+          | None -> ""
+          | Some msg -> ", oracle: " ^ msg)
+  in
+  let action seed scenarios protocols shrink_budget replay out =
+    match replay with
+    | Some token -> (
+        match Scenario.of_token token with
+        | Error msg ->
+            Printf.eprintf "recsim live soak: %s\n" msg;
+            exit 2
+        | Ok s -> (
+            if not (Sys.file_exists out) then Unix.mkdir out 0o755;
+            let dir =
+              Filename.concat out
+                (Printf.sprintf "replay.%d" s.Scenario.sc_index)
+            in
+            print_endline (Json.to_string (Scenario.to_json s));
+            let result = Soak.run_scenario ~dir s in
+            print_scenario_result s result;
+            match result with
+            | Ok r when not (Soak.failed r) -> ()
+            | Ok _ -> exit 1
+            | Error _ -> exit 2))
+    | None ->
+        let plan = Scenario.plan ~seed ~count:scenarios ~protocols in
+        let summary =
+          Soak.run_campaign ~shrink_budget ~log:print_endline ~out ~plan ()
+        in
+        List.iter
+          (fun (o : Soak.outcome) ->
+            print_scenario_result o.Soak.oc_scenario o.Soak.oc_result;
+            match o.Soak.oc_minimal with
+            | Some _ ->
+                Printf.printf
+                  "  minimal reproducer: %s\n  replay with: recsim live soak \
+                   --replay %s\n"
+                  (Soak.minimal_file out o.Soak.oc_scenario.Scenario.sc_index)
+                  (Soak.minimal_file out o.Soak.oc_scenario.Scenario.sc_index)
+            | None -> ())
+          summary.Soak.sm_outcomes;
+        Printf.printf
+          "soak campaign: %d scenario(s), %d failing, %d error(s), %d \
+           crash(es) injected, %d merged events\n"
+          (List.length summary.Soak.sm_outcomes)
+          summary.Soak.sm_failed summary.Soak.sm_errors summary.Soak.sm_crashes
+          summary.Soak.sm_events;
+        (match summary.Soak.sm_rule_counts with
+        | [] -> ()
+        | counts ->
+            Printf.printf "violations by rule: %s\n"
+              (String.concat ", "
+                 (List.map
+                    (fun (id, n) -> Printf.sprintf "%s x%d" id n)
+                    counts)));
+        Printf.printf "campaign summary: %s\n" (Soak.campaign_file out);
+        if summary.Soak.sm_failed > 0 || summary.Soak.sm_errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Generate seeded fault scenarios, run them on the live runtime, \
+          lint every merged trace, and shrink failures to minimal \
+          reproducers.")
+    Term.(
+      const action $ seed_arg $ scenarios_arg $ protocols_arg
+      $ shrink_budget_arg $ replay_arg $ out_arg)
 
 let report_format_arg =
   Arg.(
@@ -819,7 +980,7 @@ let live_cmd =
        ~doc:
          "Run the protocol over real processes and sockets (crash injection \
           included).")
-    [ live_run_cmd; live_report_cmd ]
+    [ live_run_cmd; live_soak_cmd; live_report_cmd ]
 
 (* --- compare --- *)
 

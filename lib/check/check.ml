@@ -54,7 +54,8 @@ let rules =
       "no committed output is orphaned by any failure token in the whole \
        trace";
     mk ~severity:Warning "OPT013" "checkpoint-stability" "Section 6.3"
-      "checkpoints only cover log prefixes already on stable storage";
+      "checkpoints only cover log prefixes already on stable storage \
+       (processes that keep a message log, i.e. emit log_flush)";
     mk ~online_only:true "OPT014" "oracle-agreement" "lib/oracle ground truth"
       "the monitor's failure and rollback counts match the oracle's global \
        timeline";
@@ -158,6 +159,7 @@ module Monitor = struct
     mutable failure_ver : int;
     mutable last_sample : Ftvc.entry array option;
     mutable last_stable : int;
+    mutable has_log : bool; (* pid emitted a Log_flush: positions are log indices *)
     delivered : (int, unit) Hashtbl.t;
     tokens_lo : (int * int, int * bool) Hashtbl.t; (* (origin,ver) -> ts, stable *)
     tokens_hi : (int * int, int) Hashtbl.t;
@@ -231,6 +233,7 @@ module Monitor = struct
             failure_ver = 0;
             last_sample = None;
             last_stable = 0;
+            has_log = false;
             delivered = Hashtbl.create 64;
             tokens_lo = Hashtbl.create 16;
             tokens_hi = Hashtbl.create 16;
@@ -411,7 +414,10 @@ module Monitor = struct
                      uid (clock_str ev.clock))
             end
         | Trace.Checkpoint { position } ->
-            if position > st.last_stable then
+            (* Only meaningful for processes with a message log: baselines
+               without one reuse [position] for counters (RSNs, clock
+               components, round numbers) that are not log indices. *)
+            if st.has_log && position > st.last_stable then
               flag "OPT013"
                 (Printf.sprintf
                    "checkpoint covers log position %d but only %d entries are \
@@ -420,6 +426,7 @@ module Monitor = struct
             own_sample t ?line st ev;
             stabilize_tokens st
         | Trace.Log_flush { stable } ->
+            st.has_log <- true;
             st.last_stable <- max st.last_stable stable;
             own_sample t ?line st ev
         | Trace.Failure ->

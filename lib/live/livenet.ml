@@ -15,6 +15,16 @@ type 'a frame =
   | Ctl_msg of { src : int; seq : int; payload : 'a }
   | Ctl_ack of { seq : int }
 
+type partition = { pt_start : float; pt_stop : float; pt_island : int list }
+
+type faults = {
+  drop_rate : float;
+  dup_rate : float;
+  partitions : partition list;
+}
+
+let no_faults = { drop_rate = 0.0; dup_rate = 0.0; partitions = [] }
+
 type 'a t = {
   loop : Loop.t;
   dir : string;
@@ -25,6 +35,7 @@ type 'a t = {
   jitter_lo : float;
   jitter_span : float;
   retransmit_every : float;
+  faults : faults;
   mutable handler : 'a -> unit;
   mutable ctl_seq : int;
   unacked : (int, int * Bytes.t) Hashtbl.t; (* seq -> (dst, encoded frame) *)
@@ -34,6 +45,9 @@ type 'a t = {
   mutable retransmits : int;
   mutable received : int;
   mutable send_errors : int;
+  mutable faults_dropped : int;
+  mutable faults_duplicated : int;
+  mutable partition_blocked : int;
   mutable closed : bool;
   buf : Bytes.t;
 }
@@ -42,11 +56,29 @@ let sock_path dir i = Filename.concat dir (Printf.sprintf "w%d.sock" i)
 
 let addr t dst = Unix.ADDR_UNIX (sock_path t.dir dst)
 
+(* An active partition blocks frames crossing the island boundary in
+   either direction. The gate sits below both lanes: Data frames (and
+   acks) vanish like real in-flight losses, while Control frames come
+   back through the retransmit timer once the window closes — a burst
+   partition heals without protocol-visible state. *)
+let partitioned t ~dst =
+  t.faults.partitions <> []
+  && begin
+       let now = Loop.now t.loop in
+       List.exists
+         (fun p ->
+           now >= p.pt_start && now < p.pt_stop
+           && List.mem t.me p.pt_island <> List.mem dst p.pt_island)
+         t.faults.partitions
+     end
+
 (* Sends to a dead or not-yet-started peer fail; for Data that is the
    message's fate (a real in-flight drop), for Control the retransmit
    timer retries. *)
 let raw_send t ~dst bytes =
-  try
+  if partitioned t ~dst then t.partition_blocked <- t.partition_blocked + 1
+  else
+    try
     ignore (Unix.sendto t.fd bytes 0 (Bytes.length bytes) [] (addr t dst))
   with
   | Unix.Unix_error
@@ -64,13 +96,25 @@ let send t ~lane ~dst payload =
     match lane with
     | Transport.Data ->
         t.sent_data <- t.sent_data + 1;
-        let bytes = Marshal.to_bytes (Data_msg { src = t.me; payload }) [] in
-        (* Sender-side jitter delays the actual write by a random amount,
-           so two back-to-back sends can hit the wire (and the receiver)
-           out of order — the "reordered sockets" condition. *)
-        let delay = t.jitter_lo +. Prng.float t.rng t.jitter_span in
-        Loop.schedule t.loop ~delay (fun () ->
-            if not t.closed then raw_send t ~dst bytes)
+        if t.faults.drop_rate > 0.0 && Prng.bernoulli t.rng t.faults.drop_rate
+        then t.faults_dropped <- t.faults_dropped + 1
+        else begin
+          let bytes = Marshal.to_bytes (Data_msg { src = t.me; payload }) [] in
+          (* Sender-side jitter delays the actual write by a random amount,
+             so two back-to-back sends can hit the wire (and the receiver)
+             out of order — the "reordered sockets" condition. *)
+          let post () =
+            let delay = t.jitter_lo +. Prng.float t.rng t.jitter_span in
+            Loop.schedule t.loop ~delay (fun () ->
+                if not t.closed then raw_send t ~dst bytes)
+          in
+          post ();
+          if t.faults.dup_rate > 0.0 && Prng.bernoulli t.rng t.faults.dup_rate
+          then begin
+            t.faults_duplicated <- t.faults_duplicated + 1;
+            post ()
+          end
+        end
     | Transport.Control ->
         t.sent_ctl <- t.sent_ctl + 1;
         t.ctl_seq <- t.ctl_seq + 1;
@@ -120,7 +164,7 @@ let retransmit_pending t =
       t.unacked
 
 let create ?(jitter = (0.001, 0.02)) ?(retransmit_every = 0.1) ?(seq_base = 0)
-    ~loop ~dir ~me ~n ~seed () =
+    ?(faults = no_faults) ~loop ~dir ~me ~n ~seed () =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_DGRAM 0 in
   let path = sock_path dir me in
   (try Unix.unlink path with Unix.Unix_error (Unix.ENOENT, _, _) -> ());
@@ -138,6 +182,7 @@ let create ?(jitter = (0.001, 0.02)) ?(retransmit_every = 0.1) ?(seq_base = 0)
       jitter_lo;
       jitter_span = Float.max (jitter_hi -. jitter_lo) 1e-9;
       retransmit_every;
+      faults;
       handler = (fun _ -> ());
       ctl_seq = seq_base;
       unacked = Hashtbl.create 64;
@@ -147,6 +192,9 @@ let create ?(jitter = (0.001, 0.02)) ?(retransmit_every = 0.1) ?(seq_base = 0)
       retransmits = 0;
       received = 0;
       send_errors = 0;
+      faults_dropped = 0;
+      faults_duplicated = 0;
+      partition_blocked = 0;
       closed = false;
       buf = Bytes.create 262144;
     }
@@ -207,6 +255,9 @@ let stats t =
     ("retransmits", t.retransmits);
     ("received", t.received);
     ("send_errors", t.send_errors);
+    ("faults_dropped", t.faults_dropped);
+    ("faults_duplicated", t.faults_duplicated);
+    ("partition_blocked", t.partition_blocked);
   ]
 
 let close t =

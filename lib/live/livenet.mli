@@ -21,10 +21,27 @@ module Transport = Optimist_core.Transport
 
 type 'a t
 
+type partition = { pt_start : float; pt_stop : float; pt_island : int list }
+(** A burst partition: during [pt_start, pt_stop) (loop time), frames
+    crossing the island boundary — in either direction — are blocked at
+    the socket gate. Control frames heal through retransmission once the
+    window closes; Data frames are real losses. *)
+
+type faults = {
+  drop_rate : float;  (** Bernoulli loss per Data send *)
+  dup_rate : float;  (** Bernoulli duplicate per Data send *)
+  partitions : partition list;
+}
+(** Seeded network-fault plan, decided deterministically from the
+    transport's PRNG at send time. *)
+
+val no_faults : faults
+
 val create :
   ?jitter:float * float ->
   ?retransmit_every:float ->
   ?seq_base:int ->
+  ?faults:faults ->
   loop:Loop.t ->
   dir:string ->
   me:int ->
@@ -37,7 +54,8 @@ val create :
     is the (min, max) Data-lane send delay in seconds (default 1–20 ms).
     [seq_base] must be distinct per incarnation (e.g. [gen * 1_000_000])
     so a restarted worker's control frames are not mistaken for
-    retransmits of its predecessor's. *)
+    retransmits of its predecessor's. [faults] (default {!no_faults})
+    injects seeded drops, duplicates and burst partitions. *)
 
 val sock_path : string -> int -> string
 (** [sock_path dir i] is worker [i]'s socket path. *)
@@ -53,7 +71,8 @@ val unacked_count : 'a t -> int
 
 val stats : 'a t -> (string * int) list
 (** [sent_data], [sent_control], [retransmits], [received],
-    [send_errors]. *)
+    [send_errors], [faults_dropped], [faults_duplicated],
+    [partition_blocked]. *)
 
 val close : 'a t -> unit
 (** Deregister from the loop and close the socket (the path is left for

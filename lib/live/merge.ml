@@ -8,39 +8,65 @@ module Trace = Optimist_obs.Trace
    timestamp alone is not enough: a Send and the Deliver it causes can
    carry timestamps closer together than the clocks' resolution, and the
    linter's OPT002 needs the Send first. So ties break causes-first
-   (Send/Token_sent before anything else), then by pid, and the sort is
-   stable so each process's own order is preserved. *)
+   (Send/Token_sent before anything else), then by pid, then by a global
+   read-order sequence number — files are read pid-then-generation
+   (numerically, so g10 follows g2), making the sequence an explicit
+   within-process emission order that identical wall-clock stamps cannot
+   scramble. *)
 
 let is_trace_file name =
   String.length name > 6
   && String.sub name 0 6 = "trace."
   && Filename.check_suffix name ".jsonl"
 
+(* trace.<pid>.g<gen>.jsonl, ordered numerically: a lexicographic sort
+   would read trace.0.g10 before trace.0.g2 and interleave incarnations
+   out of order. Unparseable names sort last, by name. *)
+let file_key name =
+  match String.split_on_char '.' name with
+  | [ "trace"; pid; gen; "jsonl" ]
+    when String.length gen > 1 && gen.[0] = 'g' -> (
+      match
+        ( int_of_string_opt pid,
+          int_of_string_opt (String.sub gen 1 (String.length gen - 1)) )
+      with
+      | Some p, Some g -> (p, g, name)
+      | _ -> (max_int, max_int, name))
+  | _ -> (max_int, max_int, name)
+
 let trace_files dir =
   Sys.readdir dir |> Array.to_list
   |> List.filter is_trace_file
-  |> List.sort compare
+  |> List.sort (fun a b -> compare (file_key a) (file_key b))
   |> List.map (Filename.concat dir)
 
 let cause_rank (e : Trace.event) =
   match e.kind with Trace.Send _ | Trace.Token_sent _ -> 0 | _ -> 1
 
-let order a b =
+let order (a, sa) (b, sb) =
   let c = Float.compare a.Trace.at b.Trace.at in
   if c <> 0 then c
   else
     let c = Int.compare (cause_rank a) (cause_rank b) in
-    if c <> 0 then c else Int.compare a.Trace.pid b.Trace.pid
+    if c <> 0 then c
+    else
+      let c = Int.compare a.Trace.pid b.Trace.pid in
+      if c <> 0 then c else Int.compare sa sb
 
 let run ~dir ~out =
   let dropped = ref 0 in
+  let seq = ref 0 in
   let collect acc path =
     Trace.fold_file path ~init:acc ~f:(fun acc ~line:_ ev ->
         match ev with
         | Ok e ->
             (* Per-file schema headers are dropped; the merged stream
                gets exactly one, written below. *)
-            if Trace.schema_of_event e = None then e :: acc else acc
+            if Trace.schema_of_event e = None then begin
+              incr seq;
+              (e, !seq) :: acc
+            end
+            else acc
         | Error _ ->
             (* A SIGKILL can tear the dying incarnation's last line. *)
             incr dropped;
@@ -48,7 +74,7 @@ let run ~dir ~out =
   in
   let events =
     List.fold_left collect [] (trace_files dir)
-    |> List.rev |> List.stable_sort order
+    |> List.rev |> List.stable_sort order |> List.map fst
   in
   let oc = open_out_bin out in
   Fun.protect

@@ -3,16 +3,20 @@
     Collects every [trace.<pid>.g<gen>.jsonl] in the run directory,
     drops the per-file schema headers and any torn trailing lines
     (SIGKILL mid-write), and stably sorts by timestamp with ties broken
-    causes-first ([Send]/[Token_sent] before other kinds, then pid) so
-    the offline linter sees sends before their deliveries. The output
-    starts with a fresh schema header. *)
+    causes-first ([Send]/[Token_sent] before other kinds, then pid, then
+    global read order) so the offline linter sees sends before their
+    deliveries and identical wall-clock stamps cannot scramble a
+    process's own emission order. The output starts with a fresh schema
+    header. *)
 
 val run : dir:string -> out:string -> int * int
 (** [(events, dropped)] — merged event count and unparsable lines
     skipped. *)
 
 val trace_files : string -> string list
-(** The per-incarnation trace files of a run directory, sorted. *)
+(** The per-incarnation trace files of a run directory, sorted
+    numerically by (pid, generation) — not lexicographically, which
+    would read [g10] before [g2]. *)
 
 val chrome : src:string -> out:string -> int
 (** Convert a merged JSONL stream into one Chrome [trace_event] timeline

@@ -24,6 +24,7 @@ type cfg = {
   hops : int;
   pattern : Traffic.pattern;
   faults : (float * int) list;  (** (seconds into the run, pid) SIGKILLs *)
+  net_faults : Livenet.faults;  (** seeded drops/dups/partitions *)
   restart_delay : float;
   jitter : float * float;
   telemetry : Worker.telemetry;
@@ -41,6 +42,7 @@ let default_cfg =
     hops = 3;
     pattern = Traffic.Uniform;
     faults = [];
+    net_faults = Livenet.no_faults;
     restart_delay = 0.3;
     jitter = (0.001, 0.02);
     telemetry = Worker.Full;
@@ -73,7 +75,24 @@ let validate cfg =
       if at <= 0.0 || at >= cfg.duration then
         fail "fault time %g outside the injection window (0, %g)" at
           cfg.duration)
-    cfg.faults
+    cfg.faults;
+  let rate_ok r = Float.is_finite r && r >= 0.0 && r < 1.0 in
+  if not (rate_ok cfg.net_faults.drop_rate) then
+    fail "drop rate must be in [0, 1) (got %g)" cfg.net_faults.drop_rate;
+  if not (rate_ok cfg.net_faults.dup_rate) then
+    fail "dup rate must be in [0, 1) (got %g)" cfg.net_faults.dup_rate;
+  List.iter
+    (fun (p : Livenet.partition) ->
+      if p.pt_start < 0.0 || p.pt_stop <= p.pt_start then
+        fail "partition window [%g, %g) is empty or negative" p.pt_start
+          p.pt_stop;
+      if p.pt_island = [] then fail "partition island must not be empty";
+      List.iter
+        (fun pid ->
+          if pid < 0 || pid >= cfg.n then
+            fail "partition pid %d out of range [0, %d)" pid cfg.n)
+        p.pt_island)
+    cfg.net_faults.partitions
 
 (* Clear the previous run's artifacts (sockets, traces, stores, reports)
    so a reused directory cannot mix two runs' traces. *)
@@ -110,6 +129,7 @@ let spawn cfg ~base ~pid ~gen =
       hops = cfg.hops;
       pattern = cfg.pattern;
       jitter = cfg.jitter;
+      faults = cfg.net_faults;
       telemetry = cfg.telemetry;
     }
   in
@@ -227,6 +247,21 @@ let run cfg =
                (fun (at, pid) ->
                  Json.Obj [ ("at", Json.Float at); ("pid", Json.Int pid) ])
                cfg.faults) );
+        ("drop_rate", Json.Float cfg.net_faults.drop_rate);
+        ("dup_rate", Json.Float cfg.net_faults.dup_rate);
+        ( "partitions",
+          Json.List
+            (List.map
+               (fun (p : Livenet.partition) ->
+                 Json.Obj
+                   [
+                     ("start", Json.Float p.pt_start);
+                     ("stop", Json.Float p.pt_stop);
+                     ( "island",
+                       Json.List (List.map (fun i -> Json.Int i) p.pt_island)
+                     );
+                   ])
+               cfg.net_faults.partitions) );
         ("crashes", Json.Int !crashes);
         ("clean_exits", Json.Int !clean_exits);
         ("events", Json.Int events);

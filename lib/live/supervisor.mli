@@ -23,6 +23,9 @@ type cfg = {
   hops : int;
   pattern : Traffic.pattern;
   faults : (float * int) list;  (** (seconds into the run, pid) SIGKILLs *)
+  net_faults : Livenet.faults;
+      (** seeded Data-lane drops/dups and burst partitions, passed to
+          every worker's transport *)
   restart_delay : float;  (** crash-to-respawn delay, seconds *)
   jitter : float * float;
   telemetry : Worker.telemetry;  (** passed to every worker *)
@@ -48,7 +51,8 @@ val run_file : string -> string
 val validate : cfg -> unit
 (** Raises [Invalid_argument] with a one-line message on nonsense
     parameters (n < 2, non-positive durations/rates, fault pid or time
-    out of range). *)
+    out of range, drop/dup rates outside [0, 1), malformed
+    partitions). *)
 
 val run : cfg -> result
 (** Blocks for [duration + settle] seconds plus shutdown grace. *)

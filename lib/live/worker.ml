@@ -2,6 +2,11 @@ module Types = Optimist_core.Types
 module Process = Optimist_core.Process
 module Transport = Optimist_core.Transport
 module Pessimistic = Optimist_protocols.Pessimistic
+module Sender_based = Optimist_protocols.Sender_based
+module Strom_yemini = Optimist_protocols.Strom_yemini
+module Checkpoint_only = Optimist_protocols.Checkpoint_only
+module Coordinated = Optimist_protocols.Coordinated
+module Check = Optimist_check.Check
 module Traffic = Optimist_workload.Traffic
 module Schedule = Optimist_workload.Schedule
 module Trace = Optimist_obs.Trace
@@ -9,14 +14,38 @@ module Span = Optimist_obs.Span
 module Metrics = Optimist_obs.Metrics
 module Json = Optimist_obs.Json
 
-type protocol = Dg | Pessimist
+type protocol = Dg | Pessimist | Sender | Sy | Cpo | Koo
 
-let protocol_name = function Dg -> "dg" | Pessimist -> "pessimist"
+let protocol_name = function
+  | Dg -> "dg"
+  | Pessimist -> "pessimist"
+  | Sender -> "sender-based"
+  | Sy -> "strom-yemini"
+  | Cpo -> "checkpoint-only"
+  | Koo -> "coordinated"
 
 let protocol_of_string = function
   | "dg" | "damani-garg" -> Some Dg
   | "pessimist" | "pessimistic" -> Some Pessimist
+  | "sender-based" | "sender" | "sb" -> Some Sender
+  | "strom-yemini" | "sy" -> Some Sy
+  | "checkpoint-only" | "cpo" -> Some Cpo
+  | "coordinated" | "koo-toueg" | "koo" -> Some Koo
   | _ -> None
+
+let all_protocols = [ Dg; Pessimist; Sender; Sy; Cpo; Koo ]
+
+(* The sanitizer rules a protocol's live traces are expected to satisfy:
+   the full offline battery for the core protocol, each baseline's
+   declared subset otherwise. (Online-only rules need the ground-truth
+   oracle and cannot run over a merged trace.) *)
+let live_check_rules = function
+  | Dg -> Check.offline_ids
+  | Pessimist -> Pessimistic.check_rules
+  | Sender -> Sender_based.check_rules
+  | Sy -> Strom_yemini.check_rules
+  | Cpo -> Checkpoint_only.check_rules
+  | Koo -> Coordinated.check_rules
 
 type telemetry = Off | Ring | Full
 
@@ -42,6 +71,7 @@ type cfg = {
   hops : int;
   pattern : Traffic.pattern;
   jitter : float * float;
+  faults : Livenet.faults;
   telemetry : telemetry;
 }
 
@@ -341,6 +371,286 @@ let run_pessimist cfg loop sctx net store =
     epoch = Store.load_gen store;
   }
 
+let live_sender_config =
+  { Sender_based.checkpoint_interval = 1.0; restart_delay = 0.3 }
+
+let run_sender cfg loop sctx net store =
+  let app = Traffic.app ~n:cfg.n cfg.pattern in
+  let span name f = Span.with_ sctx name f in
+  let stable =
+    {
+      Sender_based.checkpoint_recorded =
+        (fun ~position ck ->
+          span "store.checkpoint" (fun () ->
+              Store.append_checkpoint store ~position ck));
+      epoch_recorded = (fun epoch -> Store.write_gen store epoch);
+    }
+  in
+  let recovering = cfg.gen > 0 in
+  let rec_span = if recovering then Some (Span.start sctx "recovery") else None in
+  let bytes_before = Store.bytes_read store in
+  let restore =
+    if not recovering then None
+    else
+      Some
+        {
+          Sender_based.im_checkpoints = Store.load_checkpoints store;
+          im_epoch = Store.load_gen store;
+        }
+  in
+  let p =
+    Sender_based.create_rt ~rt:(Loop.runtime loop)
+      ~net:(span_transport sctx net)
+      ~app ~id:cfg.me ~n:cfg.n ~config:live_sender_config ~stable ?restore
+      ~next_uid:(uid_gen cfg) ()
+  in
+  Span.set_version sctx (fun () -> cfg.gen);
+  (match rec_span with
+  | None -> ()
+  | Some sp ->
+      Sender_based.recover p;
+      let latency = Span.finish sctx sp in
+      let m = Sender_based.metrics p in
+      (* Retransmissions arrive asynchronously after the broadcast, so
+         [replayed] here counts only what was in by the time recover
+         returned; peers never roll back (depth 0). *)
+      emit_recovery cfg loop store ~ver:cfg.gen ~latency
+        ~replayed:(Metrics.Scope.get m "replayed")
+        ~depth:0 ~bytes_before);
+  schedule_snapshots cfg loop
+    ~ver:(fun () -> cfg.gen)
+    (fun () -> Sender_based.metrics p);
+  schedule_injections cfg loop (Sender_based.inject p);
+  Loop.run loop ~until:(cfg.duration +. cfg.settle);
+  final_snapshot cfg loop ~ver:cfg.gen (Sender_based.metrics p);
+  {
+    counters = Sender_based.counters p;
+    digest = Traffic.digest (Sender_based.state p);
+    epoch = Store.load_gen store;
+  }
+
+let live_sy_config =
+  {
+    Strom_yemini.checkpoint_interval = 1.0;
+    flush_interval = 0.25;
+    restart_delay = 0.3;
+  }
+
+let run_sy cfg loop sctx net store =
+  let app = Traffic.app ~n:cfg.n cfg.pattern in
+  let span name f = Span.with_ sctx name f in
+  (* The announcement table is small and rewritten whole on every change
+     (the tokens file is a single-blob slot, like D-G's token log). *)
+  let announcements = ref (Store.load_tokens store : Strom_yemini.announcement list) in
+  let stable =
+    {
+      Strom_yemini.log_flushed =
+        (fun entries ->
+          span "store.log_flush" (fun () ->
+              List.iter (Store.append_log store) entries));
+      log_truncated =
+        (fun stop ->
+          span "store.truncate" (fun () -> Store.truncate_log store ~stable:stop));
+      checkpoint_recorded =
+        (fun ~position cp ->
+          span "store.checkpoint" (fun () ->
+              Store.append_checkpoint store ~position cp));
+      checkpoints_discarded_after =
+        (fun ~position -> Store.discard_checkpoints_after store ~position);
+      announcement_recorded =
+        (fun a ->
+          announcements := a :: !announcements;
+          span "store.tokens" (fun () ->
+              Store.write_tokens store !announcements));
+    }
+  in
+  let recovering = cfg.gen > 0 in
+  let rec_span = if recovering then Some (Span.start sctx "recovery") else None in
+  let bytes_before = Store.bytes_read store in
+  let restore =
+    if not recovering then None
+    else
+      Some
+        {
+          Strom_yemini.im_log = Store.load_log store;
+          im_checkpoints = Store.load_checkpoints store;
+          im_announcements = !announcements;
+        }
+  in
+  let p =
+    Strom_yemini.create_rt ~rt:(Loop.runtime loop)
+      ~net:(span_transport sctx net)
+      ~app ~id:cfg.me ~n:cfg.n ~config:live_sy_config ~stable ?restore
+      ~next_uid:(uid_gen cfg) ()
+  in
+  Span.set_version sctx (fun () -> Strom_yemini.incarnation p);
+  Store.write_gen store cfg.gen;
+  (match rec_span with
+  | None -> ()
+  | Some sp ->
+      Strom_yemini.recover p;
+      let latency = Span.finish sctx sp in
+      let m = Strom_yemini.metrics p in
+      emit_recovery cfg loop store
+        ~ver:(Strom_yemini.incarnation p)
+        ~latency
+        ~replayed:(Metrics.Scope.get m "replayed")
+        ~depth:(Metrics.Scope.get m "log_truncated")
+        ~bytes_before);
+  schedule_snapshots cfg loop
+    ~ver:(fun () -> Strom_yemini.incarnation p)
+    (fun () -> Strom_yemini.metrics p);
+  schedule_injections cfg loop (Strom_yemini.inject p);
+  Loop.run loop ~until:(cfg.duration +. cfg.settle);
+  final_snapshot cfg loop
+    ~ver:(Strom_yemini.incarnation p)
+    (Strom_yemini.metrics p);
+  {
+    counters = Strom_yemini.counters p;
+    digest = Traffic.digest (Strom_yemini.state p);
+    epoch = Strom_yemini.incarnation p;
+  }
+
+let live_cpo_config =
+  { Checkpoint_only.checkpoint_interval = 1.0; restart_delay = 0.3 }
+
+let run_cpo cfg loop sctx net store =
+  let app = Traffic.app ~n:cfg.n cfg.pattern in
+  let span name f = Span.with_ sctx name f in
+  let stable =
+    {
+      Checkpoint_only.checkpoint_recorded =
+        (fun ~position cp ->
+          span "store.checkpoint" (fun () ->
+              Store.append_checkpoint store ~position cp));
+      checkpoints_discarded_after =
+        (fun ~position -> Store.discard_checkpoints_after store ~position);
+      aux_recorded =
+        (fun aux ->
+          span "store.tokens" (fun () -> Store.write_tokens store [ aux ]));
+    }
+  in
+  let recovering = cfg.gen > 0 in
+  let rec_span = if recovering then Some (Span.start sctx "recovery") else None in
+  let bytes_before = Store.bytes_read store in
+  let restore =
+    if not recovering then None
+    else
+      let aux =
+        match (Store.load_tokens store : Checkpoint_only.aux list) with
+        | a :: _ -> a
+        | [] ->
+            {
+              Checkpoint_only.ax_epoch = 0;
+              ax_floor = Array.make cfg.n max_int;
+              ax_peer_epoch = Array.make cfg.n 0;
+            }
+      in
+      Some
+        {
+          Checkpoint_only.im_checkpoints = Store.load_checkpoints store;
+          im_aux = aux;
+        }
+  in
+  let p =
+    Checkpoint_only.create_rt ~rt:(Loop.runtime loop)
+      ~net:(span_transport sctx net)
+      ~app ~id:cfg.me ~n:cfg.n ~config:live_cpo_config ~stable ?restore
+      ~next_uid:(uid_gen cfg) ()
+  in
+  Span.set_version sctx (fun () -> cfg.gen);
+  Store.write_gen store cfg.gen;
+  (match rec_span with
+  | None -> ()
+  | Some sp ->
+      Checkpoint_only.recover p;
+      let latency = Span.finish sctx sp in
+      let m = Checkpoint_only.metrics p in
+      (* No log, so nothing replays; the cost is the work forfeited. *)
+      emit_recovery cfg loop store ~ver:cfg.gen ~latency ~replayed:0
+        ~depth:(Metrics.Scope.get m "lost_states")
+        ~bytes_before);
+  schedule_snapshots cfg loop
+    ~ver:(fun () -> cfg.gen)
+    (fun () -> Checkpoint_only.metrics p);
+  schedule_injections cfg loop (Checkpoint_only.inject p);
+  Loop.run loop ~until:(cfg.duration +. cfg.settle);
+  final_snapshot cfg loop ~ver:cfg.gen (Checkpoint_only.metrics p);
+  {
+    counters = Checkpoint_only.counters p;
+    digest = Traffic.digest (Checkpoint_only.state p);
+    epoch = Store.load_gen store;
+  }
+
+let live_koo_config =
+  { Coordinated.checkpoint_interval = 1.0; restart_delay = 0.3 }
+
+let run_koo cfg loop sctx net store =
+  let app = Traffic.app ~n:cfg.n cfg.pattern in
+  let span name f = Span.with_ sctx name f in
+  let stable =
+    {
+      Coordinated.snapshot_committed =
+        (fun sn ->
+          span "store.checkpoint" (fun () ->
+              Store.append_checkpoint store ~position:sn.Coordinated.sn_round sn));
+      aux_recorded =
+        (fun aux ->
+          span "store.tokens" (fun () -> Store.write_tokens store [ aux ]));
+    }
+  in
+  let recovering = cfg.gen > 0 in
+  let rec_span = if recovering then Some (Span.start sctx "recovery") else None in
+  let bytes_before = Store.bytes_read store in
+  let restore =
+    if not recovering then None
+    else
+      let committed =
+        match Store.load_checkpoints store with
+        | (sn, _) :: _ -> sn
+        | [] -> { Coordinated.sn_state = app.Types.init cfg.me; sn_round = 0 }
+      in
+      let aux =
+        match (Store.load_tokens store : Coordinated.aux list) with
+        | a :: _ -> a
+        | [] ->
+            {
+              Coordinated.ax_epoch = 0;
+              ax_peer_epoch = Array.make cfg.n 0;
+              ax_round = 0;
+            }
+      in
+      Some { Coordinated.im_committed = committed; im_aux = aux }
+  in
+  let p =
+    Coordinated.create_rt ~rt:(Loop.runtime loop)
+      ~net:(span_transport sctx net)
+      ~app ~id:cfg.me ~n:cfg.n ~config:live_koo_config ~stable ?restore
+      ~next_uid:(uid_gen cfg) ()
+  in
+  Span.set_version sctx (fun () -> cfg.gen);
+  Store.write_gen store cfg.gen;
+  (match rec_span with
+  | None -> ()
+  | Some sp ->
+      Coordinated.recover p;
+      let latency = Span.finish sctx sp in
+      let m = Coordinated.metrics p in
+      emit_recovery cfg loop store ~ver:cfg.gen ~latency ~replayed:0
+        ~depth:(Metrics.Scope.get m "lost_states")
+        ~bytes_before);
+  schedule_snapshots cfg loop
+    ~ver:(fun () -> cfg.gen)
+    (fun () -> Coordinated.metrics p);
+  schedule_injections cfg loop (Coordinated.inject p);
+  Loop.run loop ~until:(cfg.duration +. cfg.settle);
+  final_snapshot cfg loop ~ver:cfg.gen (Coordinated.metrics p);
+  {
+    counters = Coordinated.counters p;
+    digest = Traffic.digest (Coordinated.state p);
+    epoch = Store.load_gen store;
+  }
+
 (* Each protocol branch builds its own Livenet so the transport's payload
    type is fixed per branch (DG and the pessimistic baseline have
    different wire types). *)
@@ -351,7 +661,8 @@ let with_net cfg loop run =
   let net =
     Livenet.create ~jitter:cfg.jitter
       ~seq_base:(cfg.gen * 1_000_000)
-      ~loop ~dir:cfg.dir ~me:cfg.me ~n:cfg.n ~seed:worker_seed ()
+      ~faults:cfg.faults ~loop ~dir:cfg.dir ~me:cfg.me ~n:cfg.n
+      ~seed:worker_seed ()
   in
   (* Gen 0 waits for the whole mesh to bind before the protocol starts
      talking; restarted incarnations find every socket already present. *)
@@ -368,6 +679,14 @@ let with_net cfg loop run =
 
 let main cfg =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* Strom-Yemini assumes FIFO channels; zero jitter keeps the datagram
+     mesh order-preserving enough for the assumption to hold in practice
+     (kernel AF_UNIX queues are FIFO per socket pair). *)
+  let cfg =
+    match cfg.protocol with
+    | Sy -> { cfg with jitter = (0.0, 0.0) }
+    | _ -> cfg
+  in
   let tracer, trace_oc = open_trace cfg in
   let loop = Loop.create ~tracer ~base:cfg.base () in
   let sctx =
@@ -376,6 +695,11 @@ let main cfg =
   (match cfg.protocol with
   | Dg -> with_net cfg loop (fun net store -> run_dg cfg loop sctx net store)
   | Pessimist ->
-      with_net cfg loop (fun net store -> run_pessimist cfg loop sctx net store));
+      with_net cfg loop (fun net store -> run_pessimist cfg loop sctx net store)
+  | Sender ->
+      with_net cfg loop (fun net store -> run_sender cfg loop sctx net store)
+  | Sy -> with_net cfg loop (fun net store -> run_sy cfg loop sctx net store)
+  | Cpo -> with_net cfg loop (fun net store -> run_cpo cfg loop sctx net store)
+  | Koo -> with_net cfg loop (fun net store -> run_koo cfg loop sctx net store));
   Trace.close tracer;
   Option.iter close_out_noerr trace_oc

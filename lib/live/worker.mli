@@ -1,9 +1,9 @@
 (** One live worker process: the protocol stack a forked child runs.
 
-    A worker assembles the shared protocol code from [lib/core] (or the
-    pessimistic baseline from [lib/protocols]) on top of the live
-    substrate: {!Loop} as the {!Optimist_core.Transport.runtime},
-    {!Livenet} as the transport, {!Store} behind the stable hooks, and a
+    A worker assembles the shared protocol code from [lib/core] (or a
+    baseline from [lib/protocols]) on top of the live substrate:
+    {!Loop} as the {!Optimist_core.Transport.runtime}, {!Livenet} as
+    the transport, {!Store} behind the stable hooks, and a
     per-incarnation JSONL trace file. Incarnation [gen = 0] starts
     fresh; [gen > 0] (a supervisor respawn after a SIGKILL) reloads the
     persisted image and runs the protocol's [recover] — the paper's
@@ -11,10 +11,27 @@
 
 module Traffic = Optimist_workload.Traffic
 
-type protocol = Dg | Pessimist
+type protocol =
+  | Dg  (** Damani-Garg, the paper's protocol *)
+  | Pessimist  (** pessimistic (synchronous) logging *)
+  | Sender  (** sender-based logging, Johnson-Zwaenepoel *)
+  | Sy  (** Strom-Yemini optimistic recovery *)
+  | Cpo  (** uncoordinated checkpointing, no log (domino) *)
+  | Koo  (** coordinated checkpointing, Koo-Toueg *)
 
 val protocol_name : protocol -> string
+
 val protocol_of_string : string -> protocol option
+(** Accepts the canonical names plus aliases ([damani-garg], [sender],
+    [sb], [sy], [cpo], [koo], [koo-toueg], [pessimistic]). *)
+
+val all_protocols : protocol list
+(** Every protocol the live runtime can host, [Dg] first. *)
+
+val live_check_rules : protocol -> string list
+(** The sanitizer rules this protocol's merged live trace is expected to
+    satisfy: the full battery for [Dg], the baseline's declared
+    [check_rules] subset otherwise. *)
 
 type telemetry =
   | Off  (** null recorder: instrumentation short-circuits *)
@@ -38,6 +55,7 @@ type cfg = {
   hops : int;
   pattern : Traffic.pattern;
   jitter : float * float;  (** Data-lane send-delay range, seconds *)
+  faults : Livenet.faults;  (** seeded network-fault plan *)
   telemetry : telemetry;
 }
 

@@ -1,5 +1,6 @@
 module Engine = Optimist_sim.Engine
 module Network = Optimist_net.Network
+module Transport = Optimist_core.Transport
 module Vclock = Optimist_clock.Vclock
 module Ftvc = Optimist_clock.Ftvc
 module Checkpoint_store = Optimist_storage.Checkpoint_store
@@ -23,13 +24,42 @@ type config = { checkpoint_interval : float; restart_delay : float }
 
 let default_config = { checkpoint_interval = 100.0; restart_delay = 20.0 }
 
+type aux = {
+  ax_epoch : int;
+  ax_floor : int array;
+  ax_peer_epoch : int array;
+}
+
+(* Durable state beyond the checkpoints themselves: the epoch counter and
+   the announcement floors must survive a crash, or a restarted process
+   would accept dependencies on states the whole system already agreed
+   are forfeit. *)
+type ('s, 'm) stable_hooks = {
+  checkpoint_recorded : position:int -> ('s, 'm) checkpoint -> unit;
+  checkpoints_discarded_after : position:int -> unit;
+  aux_recorded : aux -> unit;
+}
+
+let null_hooks =
+  {
+    checkpoint_recorded = (fun ~position:_ _ -> ());
+    checkpoints_discarded_after = (fun ~position:_ -> ());
+    aux_recorded = (fun _ -> ());
+  }
+
+type ('s, 'm) image = {
+  im_checkpoints : (('s, 'm) checkpoint * int) list; (* newest first *)
+  im_aux : aux;
+}
+
 type ('s, 'm) t = {
   pid : int;
   n : int;
-  engine : Engine.t;
-  net : 'm wire Network.t;
+  rt : Transport.runtime;
+  net : 'm wire Transport.t;
   app : ('s, 'm) app;
   config : config;
+  stable_io : ('s, 'm) stable_hooks;
   next_uid : unit -> int;
   mutable state : 's;
   mutable vc : Vclock.t;
@@ -52,7 +82,7 @@ let state t = t.state
 let metrics t = t.metrics
 let counters t = Metrics.Scope.counters t.metrics
 
-let tr_on t = Trace.enabled (Engine.tracer t.engine)
+let tr_on t = Trace.enabled (t.rt.Transport.tracer ())
 
 (* Vector clock rendered as FTVC entries with ver = 0; the event's [ver]
    field carries the epoch (bumped on every restart or rollback). *)
@@ -61,15 +91,24 @@ let tr_clock vc =
 
 let tr_emit ?clock t kind =
   let clock = match clock with Some c -> c | None -> tr_clock t.vc in
-  Trace.emit (Engine.tracer t.engine)
-    { at = Engine.now t.engine; pid = t.pid; ver = t.epoch; clock; kind }
+  Trace.emit
+    (t.rt.Transport.tracer ())
+    { at = t.rt.Transport.now (); pid = t.pid; ver = t.epoch; clock; kind }
+
+let record_aux t =
+  t.stable_io.aux_recorded
+    {
+      ax_epoch = t.epoch;
+      ax_floor = Array.copy t.floor;
+      ax_peer_epoch = Array.copy t.peer_epoch;
+    }
 
 let send_app t dst data =
   Metrics.Scope.incr t.metrics "sent";
   Metrics.Scope.incr ~by:(t.n + 1) t.metrics "piggyback_words";
   let uid = t.next_uid () in
   if tr_on t then tr_emit t (Trace.Send { uid; dst });
-  Network.send t.net ~src:t.pid ~dst
+  t.net.Transport.send ~lane:Transport.Data ~src:t.pid ~dst
     (W_app { data; vc = t.vc; epoch = t.epoch; sender = t.pid; uid });
   t.vc <- Vclock.tick t.vc ~me:t.pid
 
@@ -83,8 +122,10 @@ let take_checkpoint t =
   Metrics.Scope.incr t.metrics "checkpoints";
   if tr_on t then
     tr_emit t (Trace.Checkpoint { position = Vclock.get t.vc t.pid });
-  Checkpoint_store.record t.checkpoints ~position:(Vclock.get t.vc t.pid)
-    { cp_state = t.state; cp_vc = t.vc }
+  let cp = { cp_state = t.state; cp_vc = t.vc } in
+  let position = Vclock.get t.vc t.pid in
+  Checkpoint_store.record t.checkpoints ~position cp;
+  t.stable_io.checkpoint_recorded ~position cp
 
 let announce t ~cascade =
   Metrics.Scope.incr ~by:(t.n - 1) t.metrics "control_messages";
@@ -92,8 +133,9 @@ let announce t ~cascade =
     tr_emit t
       (Trace.Token_sent
          { origin = t.pid; ver = t.epoch; ts = Vclock.get t.vc t.pid });
-  Network.broadcast t.net ~traffic:Network.Control ~src:t.pid
-    (W_ann { a_origin = t.pid; a_ts = Vclock.get t.vc t.pid; a_cascade = cascade })
+  t.net.Transport.broadcast ~lane:Transport.Control ~src:t.pid
+    (W_ann
+       { a_origin = t.pid; a_ts = Vclock.get t.vc t.pid; a_cascade = cascade })
 
 (* Land on the newest checkpoint consistent with every announcement floor.
    There is no log: everything since that checkpoint is forfeited. *)
@@ -112,7 +154,8 @@ let restore_to_floor t =
       t.states_since_restore <- 0;
       t.state <- cp.cp_state;
       t.vc <- cp.cp_vc;
-      Checkpoint_store.discard_after t.checkpoints ~position
+      Checkpoint_store.discard_after t.checkpoints ~position;
+      t.stable_io.checkpoints_discarded_after ~position
 
 let orphaned t =
   let rec loop j =
@@ -127,6 +170,7 @@ let rollback t ~cascade =
   let lost_before = Metrics.Scope.get t.metrics "lost_states" in
   restore_to_floor t;
   t.epoch <- t.epoch + 1;
+  record_aux t;
   if tr_on t then
     tr_emit t
       (Trace.Rollback
@@ -141,7 +185,10 @@ let receive_announcement t (a : announcement) =
   Metrics.Scope.incr t.metrics "tokens_received";
   if tr_on t then
     tr_emit t (Trace.Token_recv { origin = a.a_origin; ver = 0; ts = a.a_ts });
-  if a.a_ts < t.floor.(a.a_origin) then t.floor.(a.a_origin) <- a.a_ts;
+  if a.a_ts < t.floor.(a.a_origin) then begin
+    t.floor.(a.a_origin) <- a.a_ts;
+    record_aux t
+  end;
   if t.alive && orphaned t then begin
     if tr_on t then
       tr_emit t
@@ -153,9 +200,10 @@ let do_restart t =
   Metrics.Scope.incr t.metrics "restarts";
   t.epoch <- t.epoch + 1;
   restore_to_floor t;
+  record_aux t;
   t.alive <- true;
   if tr_on t then tr_emit t (Trace.Restart { new_ver = t.epoch });
-  Network.set_up t.net t.pid;
+  t.net.Transport.set_up ~drop_held_data:false t.pid;
   announce t ~cascade:false;
   t.vc <- Vclock.tick t.vc ~me:t.pid;
   take_checkpoint t
@@ -165,20 +213,23 @@ let fail t =
     t.alive <- false;
     if tr_on t then tr_emit t Trace.Failure;
     Metrics.Scope.incr t.metrics "failures";
-    Network.set_down t.net t.pid;
-    ignore
-      (Engine.schedule t.engine ~delay:t.config.restart_delay (fun () ->
-           do_restart t))
+    t.net.Transport.set_down t.pid;
+    t.rt.Transport.schedule ~daemon:false ~delay:t.config.restart_delay
+      (fun () -> do_restart t)
   end
 
 let receive_app t ?(uid = -1) ~src ~vc ~epoch data =
   if epoch < t.peer_epoch.(src) then begin
     (* Stale traffic from a discarded incarnation of the sender. *)
     Metrics.Scope.incr t.metrics "discarded_obsolete";
-    if tr_on t then tr_emit ~clock:(tr_clock vc) t (Trace.Drop_obsolete { uid; src })
+    if tr_on t then
+      tr_emit ~clock:(tr_clock vc) t (Trace.Drop_obsolete { uid; src })
   end
   else begin
-    t.peer_epoch.(src) <- epoch;
+    if epoch > t.peer_epoch.(src) then begin
+      t.peer_epoch.(src) <- epoch;
+      record_aux t
+    end;
     (* Dependency on permanently lost states: unrecoverable, drop. *)
     let dead = ref false in
     for j = 0 to t.n - 1 do
@@ -190,9 +241,13 @@ let receive_app t ?(uid = -1) ~src ~vc ~epoch data =
         tr_emit ~clock:(tr_clock vc) t (Trace.Drop_obsolete { uid; src })
     end
     else begin
-      t.vc <- Vclock.merge t.vc ~me:t.pid vc;
       Metrics.Scope.incr t.metrics "delivered";
-      if tr_on t then tr_emit t (Trace.Deliver { uid; src });
+      (* The delivery record carries the clock the send piggybacked (not
+         the post-merge local clock): the sanitizer's piggyback-integrity
+         rule pairs the two, and orphan knowledge is reconstructed from
+         exactly what crossed the wire. *)
+      if tr_on t then tr_emit ~clock:(tr_clock vc) t (Trace.Deliver { uid; src });
+      t.vc <- Vclock.merge t.vc ~me:t.pid vc;
       run_app t ~src data
     end
   end
@@ -204,55 +259,81 @@ let inject t data =
     run_app t ~src:env_src data
   end
 
-let handle_wire t (env : 'm wire Network.envelope) =
-  match env.Network.payload with
+let handle_wire t (w : 'm wire) =
+  match w with
   | W_app { data; vc; epoch; sender; uid } ->
       if t.alive then receive_app t ~uid ~src:sender ~vc ~epoch data
   | W_ann a -> receive_announcement t a
 
-let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ?metrics ~next_uid ()
-    =
+let create_rt ~rt ~net ~app ~id:pid ~n ?(config = default_config) ?metrics
+    ?(stable = null_hooks) ?restore:image ~next_uid () =
   let metrics =
     match metrics with
     | Some m -> m
     | None -> Metrics.Scope.create ~protocol:"checkpoint-only" ~process:pid ()
   in
+  let checkpoints, epoch, floor, peer_epoch =
+    match image with
+    | None ->
+        (Checkpoint_store.create (), 0, Array.make n max_int, Array.make n 0)
+    | Some im ->
+        ( Checkpoint_store.of_items im.im_checkpoints,
+          im.im_aux.ax_epoch,
+          Array.copy im.im_aux.ax_floor,
+          Array.copy im.im_aux.ax_peer_epoch )
+  in
   let t =
     {
       pid;
       n;
-      engine;
+      rt;
       net;
       app;
       config;
+      stable_io = stable;
       next_uid;
       state = app.init pid;
       vc = Vclock.create ~n ~me:pid;
       alive = true;
-      epoch = 0;
-      peer_epoch = Array.make n 0;
+      epoch;
+      peer_epoch;
       states_since_restore = 0;
-      checkpoints = Checkpoint_store.create ();
-      floor = Array.make n max_int;
+      checkpoints;
+      floor;
       metrics;
     }
   in
-  Network.set_handler net pid (fun env -> handle_wire t env);
-  take_checkpoint t;
+  net.Transport.set_handler pid (fun w -> handle_wire t w);
+  (match image with None -> take_checkpoint t | Some _ -> ());
   let rec checkpoint_loop () =
     if t.alive then take_checkpoint t;
-    ignore
-      (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
-         checkpoint_loop)
+    rt.Transport.schedule ~daemon:true ~delay:config.checkpoint_interval
+      checkpoint_loop
   in
-  ignore
-    (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
-       checkpoint_loop);
+  rt.Transport.schedule ~daemon:true ~delay:config.checkpoint_interval
+    checkpoint_loop;
   t
 
-(* Trace-sanitizer rules (optimist.check ids): vector clocks are local
-   state only (Deliver events carry the receiver's merged clock), and
-   recovery is announcement-driven without per-token rollback
-   accounting. *)
+let create ~engine ~net ~app ~id ~n ?config ?metrics ~next_uid () =
+  create_rt ~rt:(Transport.of_engine engine) ~net:(Transport.of_network net)
+    ~app ~id ~n ?config ?metrics ~next_uid ()
+
+(* Live-mode recovery for a process built with [?restore]: the crash
+   already happened (SIGKILL); emit the failure record for the killed
+   incarnation, then run the ordinary restart — land on the newest
+   checkpoint consistent with the persisted floors and announce the
+   surviving timestamp so peers can domino. *)
+let recover t =
+  if Checkpoint_store.count t.checkpoints = 0 then
+    invalid_arg "Checkpoint_only.recover: empty checkpoint store";
+  Metrics.Scope.incr t.metrics "failures";
+  if tr_on t then tr_emit t Trace.Failure;
+  t.alive <- false;
+  do_restart t
+
+(* Trace-sanitizer rules (optimist.check ids): deliveries carry the
+   piggybacked vector clock, so the clock-pairing rule applies alongside
+   the structural ones; recovery is announcement-driven without
+   per-token rollback accounting. *)
 let check_rules =
-  [ "OPT001"; "OPT002"; "OPT003"; "OPT005"; "OPT006"; "OPT007" ]
+  [ "OPT001"; "OPT002"; "OPT003"; "OPT004"; "OPT005"; "OPT006"; "OPT007" ]

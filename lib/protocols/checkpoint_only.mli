@@ -18,14 +18,57 @@
 
 module Engine = Optimist_sim.Engine
 module Network = Optimist_net.Network
+module Transport = Optimist_core.Transport
 
 type 'm wire
 
 type ('s, 'm) t
 
+type ('s, 'm) checkpoint = { cp_state : 's; cp_vc : Optimist_clock.Vclock.t }
+
 type config = { checkpoint_interval : float; restart_delay : float }
 
 val default_config : config
+
+type aux = {
+  ax_epoch : int;
+  ax_floor : int array;
+  ax_peer_epoch : int array;
+}
+(** Durable non-checkpoint state: epoch counter, announcement floors and
+    newest peer epochs. A restarted process that forgot its floors would
+    accept dependencies on states the whole system already forfeited. *)
+
+type ('s, 'm) stable_hooks = {
+  checkpoint_recorded : position:int -> ('s, 'm) checkpoint -> unit;
+  checkpoints_discarded_after : position:int -> unit;
+  aux_recorded : aux -> unit;
+}
+
+val null_hooks : ('s, 'm) stable_hooks
+
+type ('s, 'm) image = {
+  im_checkpoints : (('s, 'm) checkpoint * int) list;  (** newest first *)
+  im_aux : aux;
+}
+(** Durable state reloaded by a restarted live process. *)
+
+val create_rt :
+  rt:Transport.runtime ->
+  net:'m wire Transport.t ->
+  app:('s, 'm) Optimist_core.Types.app ->
+  id:int ->
+  n:int ->
+  ?config:config ->
+  ?metrics:Optimist_obs.Metrics.Scope.t ->
+  ?stable:('s, 'm) stable_hooks ->
+  ?restore:('s, 'm) image ->
+  next_uid:(unit -> int) ->
+  unit ->
+  ('s, 'm) t
+(** Runtime-seam constructor. With [?restore] the process resumes a prior
+    incarnation: no initial checkpoint is taken and the epoch, floors and
+    peer epochs continue from [im_aux]. *)
 
 val create :
   engine:Engine.t ->
@@ -46,6 +89,14 @@ val alive : ('s, 'm) t -> bool
 val state : ('s, 'm) t -> 's
 val inject : ('s, 'm) t -> 'm -> unit
 val fail : ('s, 'm) t -> unit
+(** Simulated crash: a restart is scheduled after [restart_delay]. *)
+
+val recover : ('s, 'm) t -> unit
+(** Live-mode recovery for a process built with [?restore]: emit the
+    failure record, land on the newest checkpoint consistent with the
+    persisted floors, and broadcast the surviving-timestamp announcement.
+    Raises [Invalid_argument] if the checkpoint store is empty. *)
+
 val metrics : ('s, 'm) t -> Optimist_obs.Metrics.Scope.t
 (** The per-process metrics scope (labelled with this protocol's
     name); shares counter names with the core engine where the

@@ -1,15 +1,19 @@
 module Engine = Optimist_sim.Engine
 module Network = Optimist_net.Network
+module Transport = Optimist_core.Transport
 module Metrics = Optimist_obs.Metrics
 module Trace = Optimist_obs.Trace
 open Optimist_core.Types
 
+(* The transport seam hands the protocol the bare payload (no envelope),
+   so the rollback token names its origin in the wire type itself. *)
 type 'm wire =
   | W_app of { data : 'm; epoch : int; sender : int; uid : int }
   | W_request of { round : int }  (** initiator -> all: tentative checkpoint *)
   | W_ready of { round : int }  (** participant -> initiator *)
   | W_commit of { round : int }  (** initiator -> all: make permanent *)
-  | W_rollback of { epoch : int }  (** failure: everyone back to the line *)
+  | W_rollback of { sender : int; epoch : int }
+      (** failure: everyone back to the line *)
 
 type ('s, 'm) snapshot = { sn_state : 's; sn_round : int }
 
@@ -17,13 +21,28 @@ type config = { checkpoint_interval : float; restart_delay : float }
 
 let default_config = { checkpoint_interval = 150.0; restart_delay = 20.0 }
 
+type aux = { ax_epoch : int; ax_peer_epoch : int array; ax_round : int }
+
+(* The committed line is the only recovery point, so it (plus the epoch
+   and round counters) is all that ever reaches stable storage. *)
+type ('s, 'm) stable_hooks = {
+  snapshot_committed : ('s, 'm) snapshot -> unit;
+  aux_recorded : aux -> unit;
+}
+
+let null_hooks =
+  { snapshot_committed = (fun _ -> ()); aux_recorded = (fun _ -> ()) }
+
+type ('s, 'm) image = { im_committed : ('s, 'm) snapshot; im_aux : aux }
+
 type ('s, 'm) t = {
   pid : int;
   n : int;
-  engine : Engine.t;
-  net : 'm wire Network.t;
+  rt : Transport.runtime;
+  net : 'm wire Transport.t;
   app : ('s, 'm) app;
   config : config;
+  stable_io : ('s, 'm) stable_hooks;
   next_uid : unit -> int;
   mutable state : 's;
   mutable alive : bool;
@@ -49,20 +68,29 @@ let state t = t.state
 let metrics t = t.metrics
 let counters t = Metrics.Scope.counters t.metrics
 
-let tr_on t = Trace.enabled (Engine.tracer t.engine)
+let tr_on t = Trace.enabled (t.rt.Transport.tracer ())
 
 let tr_emit t kind =
-  Trace.emit (Engine.tracer t.engine)
-    { at = Engine.now t.engine; pid = t.pid; ver = t.epoch; clock = [||]; kind }
+  Trace.emit
+    (t.rt.Transport.tracer ())
+    { at = t.rt.Transport.now (); pid = t.pid; ver = t.epoch; clock = [||]; kind }
 
 let is_initiator t = t.pid = 0
+
+let record_aux t =
+  t.stable_io.aux_recorded
+    {
+      ax_epoch = t.epoch;
+      ax_peer_epoch = Array.copy t.peer_epoch;
+      ax_round = t.round;
+    }
 
 let really_send t dst data =
   Metrics.Scope.incr t.metrics "sent";
   Metrics.Scope.incr ~by:2 t.metrics "piggyback_words";
   let uid = t.next_uid () in
   if tr_on t then tr_emit t (Trace.Send { uid; dst });
-  Network.send t.net ~src:t.pid ~dst
+  t.net.Transport.send ~lane:Transport.Data ~src:t.pid ~dst
     (W_app { data; epoch = t.epoch; sender = t.pid; uid })
 
 let send_app t dst data =
@@ -82,7 +110,10 @@ let deliver t ?(uid = -1) ~src ~epoch data =
     if tr_on t then tr_emit t (Trace.Drop_obsolete { uid; src })
   end
   else begin
-    if src >= 0 then t.peer_epoch.(src) <- epoch;
+    if src >= 0 && epoch > t.peer_epoch.(src) then begin
+      t.peer_epoch.(src) <- epoch;
+      record_aux t
+    end;
     if t.in_round then t.buffered <- (src, data, epoch) :: t.buffered
     else begin
       Metrics.Scope.incr t.metrics "delivered";
@@ -99,18 +130,18 @@ let inject t data =
 
 let control t dst w =
   Metrics.Scope.incr t.metrics "control_messages";
-  Network.send t.net ~traffic:Network.Control ~src:t.pid ~dst w
+  t.net.Transport.send ~lane:Transport.Control ~src:t.pid ~dst w
 
 let broadcast_control t w =
   Metrics.Scope.incr ~by:(t.n - 1) t.metrics "control_messages";
-  Network.broadcast t.net ~traffic:Network.Control ~src:t.pid w
+  t.net.Transport.broadcast ~lane:Transport.Control ~src:t.pid w
 
 (* Enter the blocking phase: tentative checkpoint, hold all traffic. *)
 let take_tentative t round =
   if t.alive && not t.in_round then begin
     t.in_round <- true;
     t.round <- round;
-    t.blocked_since <- Engine.now t.engine;
+    t.blocked_since <- t.rt.Transport.now ();
     t.tentative <- Some { sn_state = t.state; sn_round = round };
     Metrics.Scope.incr t.metrics "checkpoints";
     if tr_on t then tr_emit t (Trace.Checkpoint { position = round })
@@ -118,7 +149,7 @@ let take_tentative t round =
 
 let release t =
   Metrics.Scope.incr
-    ~by:(int_of_float (1000.0 *. (Engine.now t.engine -. t.blocked_since)))
+    ~by:(int_of_float (1000.0 *. (t.rt.Transport.now () -. t.blocked_since)))
     t.metrics "blocked_time_x1000";
   t.in_round <- false;
   let sends = List.rev t.outbox in
@@ -133,25 +164,33 @@ let commit t round =
   | Some sn when sn.sn_round = round ->
       t.committed <- sn;
       t.states_since_commit <- 0;
-      t.tentative <- None
+      t.tentative <- None;
+      t.stable_io.snapshot_committed sn;
+      record_aux t
   | _ -> ());
   if t.in_round then release t
 
 (* Every process rolls back to the committed line; all work since is
    forfeit (there is no log to replay from). *)
-let rollback_to_line t ~epoch =
+let rollback_to_line t ~src ~epoch =
   if epoch > t.epoch then begin
     Metrics.Scope.incr t.metrics "rollbacks";
     Metrics.Scope.incr ~by:t.states_since_commit t.metrics "lost_states";
     let discarded = t.states_since_commit in
     t.states_since_commit <- 0;
     t.state <- t.committed.sn_state;
+    (* The rollback token orphans everything since the line: record the
+       detection against the token before stepping to its epoch, keyed so
+       each system-wide rollback counts as one distinct token. *)
+    if tr_on t then
+      tr_emit t (Trace.Orphan_detected { origin = src; ver = 0; ts = -epoch });
     t.epoch <- epoch;
     if tr_on t then tr_emit t (Trace.Rollback { discarded });
     t.tentative <- None;
     if t.in_round then release t;
     t.buffered <- [];
-    t.outbox <- []
+    t.outbox <- [];
+    record_aux t
   end
 
 let do_restart t =
@@ -165,26 +204,26 @@ let do_restart t =
   t.buffered <- [];
   t.outbox <- [];
   t.alive <- true;
+  record_aux t;
   if tr_on t then begin
     tr_emit t (Trace.Restart { new_ver = t.epoch });
     tr_emit t (Trace.Token_sent { origin = t.pid; ver = t.epoch; ts = 0 })
   end;
-  Network.set_up t.net t.pid ~drop_held_data:true;
-  broadcast_control t (W_rollback { epoch = t.epoch })
+  t.net.Transport.set_up ~drop_held_data:true t.pid;
+  broadcast_control t (W_rollback { sender = t.pid; epoch = t.epoch })
 
 let fail t =
   if t.alive then begin
     t.alive <- false;
     if tr_on t then tr_emit t Trace.Failure;
     Metrics.Scope.incr t.metrics "failures";
-    Network.set_down t.net t.pid;
-    ignore
-      (Engine.schedule t.engine ~delay:t.config.restart_delay (fun () ->
-           do_restart t))
+    t.net.Transport.set_down t.pid;
+    t.rt.Transport.schedule ~daemon:false ~delay:t.config.restart_delay
+      (fun () -> do_restart t)
   end
 
-let handle_wire t (env : 'm wire Network.envelope) =
-  match env.Network.payload with
+let handle_wire t (w : 'm wire) =
+  match w with
   | W_app { data; epoch; sender; uid } ->
       if t.alive then deliver t ~uid ~src:sender ~epoch data
   | W_request { round } ->
@@ -199,45 +238,12 @@ let handle_wire t (env : 'm wire Network.envelope) =
         end
       end
   | W_commit { round } -> commit t round
-  | W_rollback { epoch } ->
+  | W_rollback { sender; epoch } ->
       if tr_on t then
-        tr_emit t
-          (Trace.Token_recv { origin = env.Network.src; ver = epoch; ts = 0 });
-      rollback_to_line t ~epoch
+        tr_emit t (Trace.Token_recv { origin = sender; ver = epoch; ts = 0 });
+      rollback_to_line t ~src:sender ~epoch
 
-let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ?metrics ~next_uid ()
-    =
-  let metrics =
-    match metrics with
-    | Some m -> m
-    | None -> Metrics.Scope.create ~protocol:"coordinated" ~process:pid ()
-  in
-  let t =
-    {
-      pid;
-      n;
-      engine;
-      net;
-      app;
-      config;
-      next_uid;
-      state = app.init pid;
-      alive = true;
-      epoch = 0;
-      peer_epoch = Array.make n 0;
-      committed = { sn_state = app.init pid; sn_round = 0 };
-      tentative = None;
-      in_round = false;
-      blocked_since = 0.0;
-      buffered = [];
-      outbox = [];
-      ready_count = 0;
-      round = 0;
-      states_since_commit = 0;
-      metrics;
-    }
-  in
-  Network.set_handler net pid (fun env -> handle_wire t env);
+let start_rounds t =
   if is_initiator t then begin
     let rec round_loop k () =
       if t.alive && not t.in_round then begin
@@ -245,17 +251,74 @@ let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ?metrics ~nex
         take_tentative t k;
         broadcast_control t (W_request { round = k })
       end;
-      ignore
-        (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
-           (round_loop (k + 1)))
+      t.rt.Transport.schedule ~daemon:true ~delay:t.config.checkpoint_interval
+        (round_loop (k + 1))
     in
-    ignore
-      (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
-         (round_loop 1))
-  end;
+    t.rt.Transport.schedule ~daemon:true ~delay:t.config.checkpoint_interval
+      (round_loop (t.round + 1))
+  end
+
+let create_rt ~rt ~net ~app ~id:pid ~n ?(config = default_config) ?metrics
+    ?(stable = null_hooks) ?restore:image ~next_uid () =
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None -> Metrics.Scope.create ~protocol:"coordinated" ~process:pid ()
+  in
+  let committed, epoch, peer_epoch, round =
+    match image with
+    | None -> ({ sn_state = app.init pid; sn_round = 0 }, 0, Array.make n 0, 0)
+    | Some im ->
+        ( im.im_committed,
+          im.im_aux.ax_epoch,
+          Array.copy im.im_aux.ax_peer_epoch,
+          im.im_aux.ax_round )
+  in
+  let t =
+    {
+      pid;
+      n;
+      rt;
+      net;
+      app;
+      config;
+      stable_io = stable;
+      next_uid;
+      state = app.init pid;
+      alive = true;
+      epoch;
+      peer_epoch;
+      committed;
+      tentative = None;
+      in_round = false;
+      blocked_since = 0.0;
+      buffered = [];
+      outbox = [];
+      ready_count = 0;
+      round;
+      states_since_commit = 0;
+      metrics;
+    }
+  in
+  net.Transport.set_handler pid (fun w -> handle_wire t w);
+  start_rounds t;
   t
 
-(* Trace-sanitizer rules (optimist.check ids): no clocks at all, and
-   non-failed processes roll back to the coordinated line without
-   detecting orphans, so only the structural rules apply. *)
+let create ~engine ~net ~app ~id ~n ?config ?metrics ~next_uid () =
+  create_rt ~rt:(Transport.of_engine engine) ~net:(Transport.of_network net)
+    ~app ~id ~n ?config ?metrics ~next_uid ()
+
+(* Live-mode recovery for a process built with [?restore]: emit the
+   failure record for the killed incarnation, restore the committed line
+   and broadcast the rollback token that drags every peer back to it. *)
+let recover t =
+  Metrics.Scope.incr t.metrics "failures";
+  if tr_on t then tr_emit t Trace.Failure;
+  t.alive <- false;
+  do_restart t
+
+(* Trace-sanitizer rules (optimist.check ids): no clocks at all; peers
+   record the rollback token as the orphan that justifies their
+   coordinated rollback, so the structural rules plus the
+   rollback-bound rule apply. *)
 let check_rules = [ "OPT001"; "OPT002"; "OPT003"; "OPT006"; "OPT007" ]

@@ -1,17 +1,23 @@
 module Engine = Optimist_sim.Engine
 module Network = Optimist_net.Network
+module Transport = Optimist_core.Transport
 module Checkpoint_store = Optimist_storage.Checkpoint_store
 module Metrics = Optimist_obs.Metrics
 module Trace = Optimist_obs.Trace
 open Optimist_core.Types
 
+(* Every frame names its sender: the transport seam hands the protocol
+   the bare payload (no envelope), so ack/confirm/retransmission targets
+   ride in the wire type itself. *)
 type 'm wire =
-  | W_app of { data : 'm; uid : int; retransmit_rsn : int option }
+  | W_app of { data : 'm; sender : int; uid : int; retransmit_rsn : int option }
       (** application message; [retransmit_rsn] is set on recovery resends
           so the receiver can slot it at its original position *)
-  | W_ack of { uid : int; rsn : int }  (** receiver -> sender: RSN *)
+  | W_ack of { sender : int; uid : int; rsn : int }
+      (** receiver -> sender: RSN *)
   | W_confirm of { rsn : int }  (** sender -> receiver: RSN recorded *)
-  | W_recover of { from_rsn : int }  (** restarting receiver -> all *)
+  | W_recover of { sender : int; from_rsn : int }
+      (** restarting receiver -> all *)
   | W_recover_done
 
 type 'm sent_record = {
@@ -21,9 +27,30 @@ type 'm sent_record = {
   mutable sr_rsn : int option;
 }
 
+type 's checkpoint = { ck_state : 's; ck_rsn : int }
+
 type config = { checkpoint_interval : float; restart_delay : float }
 
 let default_config = { checkpoint_interval = 200.0; restart_delay = 20.0 }
+
+(* Only checkpoints and the incarnation counter are stable in J-Z — the
+   send log is volatile by design (that is the protocol's point), so the
+   hooks mirror nothing else. *)
+type ('s, 'm) stable_hooks = {
+  checkpoint_recorded : position:int -> 's checkpoint -> unit;
+  epoch_recorded : int -> unit;
+}
+
+let null_hooks =
+  {
+    checkpoint_recorded = (fun ~position:_ _ -> ());
+    epoch_recorded = (fun _ -> ());
+  }
+
+type ('s, 'm) image = {
+  im_checkpoints : ('s checkpoint * int) list; (* newest first *)
+  im_epoch : int;
+}
 
 type ('s, 'm) recovery = {
   mutable buffered : (int * 'm * int) list; (* rsn, data, src *)
@@ -34,10 +61,11 @@ type ('s, 'm) recovery = {
 type ('s, 'm) t = {
   pid : int;
   n : int;
-  engine : Engine.t;
-  net : 'm wire Network.t;
+  rt : Transport.runtime;
+  net : 'm wire Transport.t;
   app : ('s, 'm) app;
   config : config;
+  stable_io : ('s, 'm) stable_hooks;
   next_uid : unit -> int;
   mutable state : 's;
   mutable alive : bool;
@@ -54,7 +82,7 @@ type ('s, 'm) t = {
   mutable recovery : ('s, 'm) recovery option;
   mutable fresh_during_recovery : (int * 'm * (int * int) option) list;
       (* src, data, (sender, uid) to acknowledge *)
-  checkpoints : ('s * int) Checkpoint_store.t; (* state, rsn at checkpoint *)
+  checkpoints : 's checkpoint Checkpoint_store.t;
   mutable epoch : int;
   metrics : Metrics.Scope.t;
 }
@@ -68,14 +96,21 @@ let state t = t.state
 let metrics t = t.metrics
 let counters t = Metrics.Scope.counters t.metrics
 
-let tr_on t = Trace.enabled (Engine.tracer t.engine)
+let tr_on t = Trace.enabled (t.rt.Transport.tracer ())
 
 let tr_emit t kind =
-  Trace.emit (Engine.tracer t.engine)
-    { at = Engine.now t.engine; pid = t.pid; ver = t.epoch; clock = [||]; kind }
+  Trace.emit
+    (t.rt.Transport.tracer ())
+    {
+      at = t.rt.Transport.now ();
+      pid = t.pid;
+      ver = t.epoch;
+      clock = [||];
+      kind;
+    }
 
 let charge_blocked t since =
-  let ms = int_of_float (1000.0 *. (Engine.now t.engine -. since)) in
+  let ms = int_of_float (1000.0 *. (t.rt.Transport.now () -. since)) in
   Metrics.Scope.incr ~by:ms t.metrics "blocked_time_x1000"
 
 (* In J-Z the receiver's deliveries are reconstructed from the senders'
@@ -92,8 +127,8 @@ let record_delivery t ~src data =
   t.delivered_log.(t.delivered_len) <- (src, data);
   t.delivered_len <- t.delivered_len + 1
 
-let send_wire t ?(traffic = Network.Data) dst w =
-  Network.send t.net ~traffic ~src:t.pid ~dst w
+let send_wire t ?(lane = Transport.Data) dst w =
+  t.net.Transport.send ~lane ~src:t.pid ~dst w
 
 let really_send t dst data =
   let uid = t.next_uid () in
@@ -102,7 +137,7 @@ let really_send t dst data =
   Hashtbl.replace t.send_log uid
     { sr_dst = dst; sr_data = data; sr_uid = uid; sr_rsn = None };
   if tr_on t then tr_emit t (Trace.Send { uid; dst });
-  send_wire t dst (W_app { data; uid; retransmit_rsn = None })
+  send_wire t dst (W_app { data; sender = t.pid; uid; retransmit_rsn = None })
 
 let flush_outbox t =
   if t.unconfirmed = 0 && t.recovery = None then begin
@@ -123,7 +158,7 @@ let send_app t dst data =
     if t.unconfirmed = 0 && t.recovery = None then really_send t dst data
     else begin
       if t.outbox = [] && t.blocked_since = None then
-        t.blocked_since <- Some (Engine.now t.engine);
+        t.blocked_since <- Some (t.rt.Transport.now ());
       t.outbox <- (dst, data) :: t.outbox
     end
   end
@@ -146,7 +181,8 @@ let deliver t ~src data ~ack =
   | Some (sender, uid) when sender >= 0 ->
       t.unconfirmed <- t.unconfirmed + 1;
       Metrics.Scope.incr t.metrics "control_messages";
-      send_wire t ~traffic:Network.Control sender (W_ack { uid; rsn })
+      send_wire t ~lane:Transport.Control sender
+        (W_ack { sender = t.pid; uid; rsn })
   | _ -> ());
   run_app t ~src data
 
@@ -160,8 +196,9 @@ let inject t data =
 let take_checkpoint t =
   Metrics.Scope.incr t.metrics "checkpoints";
   if tr_on t then tr_emit t (Trace.Checkpoint { position = t.rsn_next });
-  Checkpoint_store.record t.checkpoints ~position:t.rsn_next
-    (t.state, t.rsn_next)
+  let cp = { ck_state = t.state; ck_rsn = t.rsn_next } in
+  Checkpoint_store.record t.checkpoints ~position:t.rsn_next cp;
+  t.stable_io.checkpoint_recorded ~position:t.rsn_next cp
 
 let finish_recovery t (r : ('s, 'm) recovery) =
   (* Replay retransmitted messages in RSN order from the checkpoint; a gap
@@ -200,25 +237,26 @@ let finish_recovery t (r : ('s, 'm) recovery) =
 let do_restart t =
   Metrics.Scope.incr t.metrics "restarts";
   t.epoch <- t.epoch + 1;
+  t.stable_io.epoch_recorded t.epoch;
   (match Checkpoint_store.latest t.checkpoints with
   | None -> assert false
-  | Some ((snapshot, rsn), _) ->
-      t.state <- snapshot;
-      t.rsn_next <- rsn;
-      t.delivered_len <- min t.delivered_len rsn);
+  | Some (cp, _) ->
+      t.state <- cp.ck_state;
+      t.rsn_next <- cp.ck_rsn;
+      t.delivered_len <- min t.delivered_len cp.ck_rsn);
   t.alive <- true;
   if tr_on t then tr_emit t (Trace.Restart { new_ver = t.epoch });
   t.unconfirmed <- 0;
   t.outbox <- [];
   t.blocked_since <- None;
-  Network.set_up t.net t.pid;
+  t.net.Transport.set_up ~drop_held_data:false t.pid;
   t.recovery <-
-    Some { buffered = []; done_count = 0; started_at = Engine.now t.engine };
+    Some { buffered = []; done_count = 0; started_at = t.rt.Transport.now () };
   Metrics.Scope.incr ~by:(t.n - 1) t.metrics "control_messages";
   if tr_on t then
     tr_emit t (Trace.Token_sent { origin = t.pid; ver = t.epoch; ts = t.rsn_next });
-  Network.broadcast t.net ~traffic:Network.Control ~src:t.pid
-    (W_recover { from_rsn = t.rsn_next })
+  t.net.Transport.broadcast ~lane:Transport.Control ~src:t.pid
+    (W_recover { sender = t.pid; from_rsn = t.rsn_next })
 
 let fail t =
   if t.alive then begin
@@ -231,10 +269,9 @@ let fail t =
     t.outbox <- [];
     t.fresh_during_recovery <- [];
     t.recovery <- None;
-    Network.set_down t.net t.pid;
-    ignore
-      (Engine.schedule t.engine ~delay:t.config.restart_delay (fun () ->
-           do_restart t))
+    t.net.Transport.set_down t.pid;
+    t.rt.Transport.schedule ~daemon:false ~delay:t.config.restart_delay
+      (fun () -> do_restart t)
   end
 
 let handle_recover_request t ~src ~from_rsn =
@@ -248,52 +285,65 @@ let handle_recover_request t ~src ~from_rsn =
         match r.sr_rsn with
         | Some rsn when rsn >= from_rsn ->
             Metrics.Scope.incr t.metrics "retransmitted";
-            send_wire t ~traffic:Network.Control src
-              (W_app { data = r.sr_data; uid = r.sr_uid; retransmit_rsn = Some rsn })
+            send_wire t ~lane:Transport.Control src
+              (W_app
+                 {
+                   data = r.sr_data;
+                   sender = t.pid;
+                   uid = r.sr_uid;
+                   retransmit_rsn = Some rsn;
+                 })
         | Some _ -> ()
         | None ->
             (* Unacknowledged: the receiver never delivered it (or lost the
                delivery); resend as fresh. *)
             Metrics.Scope.incr t.metrics "retransmitted";
-            send_wire t ~traffic:Network.Control src
-              (W_app { data = r.sr_data; uid = r.sr_uid; retransmit_rsn = None })
-        )
+            send_wire t ~lane:Transport.Control src
+              (W_app
+                 {
+                   data = r.sr_data;
+                   sender = t.pid;
+                   uid = r.sr_uid;
+                   retransmit_rsn = None;
+                 }))
     t.send_log;
   Metrics.Scope.incr t.metrics "control_messages";
-  send_wire t ~traffic:Network.Control src W_recover_done
+  send_wire t ~lane:Transport.Control src W_recover_done
 
-let handle_wire t (env : 'm wire Network.envelope) =
-  let src = env.Network.src in
-  match env.Network.payload with
-  | W_app { data; uid; retransmit_rsn } -> (
+let handle_wire t (w : 'm wire) =
+  match w with
+  | W_app { data; sender = src; uid; retransmit_rsn } -> (
       match t.recovery with
       | Some r -> (
           match retransmit_rsn with
           | Some rsn -> r.buffered <- (rsn, data, src) :: r.buffered
-          | None -> t.fresh_during_recovery <- (src, data, Some (src, uid)) :: t.fresh_during_recovery)
+          | None ->
+              t.fresh_during_recovery <-
+                (src, data, Some (src, uid)) :: t.fresh_during_recovery)
       | None -> (
           match retransmit_rsn with
           | Some _ ->
               (* Late retransmission after recovery finished: duplicate. *)
               ()
           | None -> deliver t ~src data ~ack:(Some (src, uid))))
-  | W_ack { uid; rsn } -> (
+  | W_ack { sender = src; uid; rsn } -> (
       match Hashtbl.find_opt t.send_log uid with
       | Some r ->
           r.sr_rsn <- Some rsn;
           Metrics.Scope.incr t.metrics "control_messages";
-          send_wire t ~traffic:Network.Control src (W_confirm { rsn })
+          send_wire t ~lane:Transport.Control src (W_confirm { rsn })
       | None ->
           (* We crashed since sending; the record is gone. The receiver's
              delivery is then unrecoverable if we crash again — nothing to
              confirm. Still confirm so the receiver does not block forever. *)
-          send_wire t ~traffic:Network.Control src (W_confirm { rsn }))
+          send_wire t ~lane:Transport.Control src (W_confirm { rsn }))
   | W_confirm _ ->
       if t.unconfirmed > 0 then begin
         t.unconfirmed <- t.unconfirmed - 1;
         flush_outbox t
       end
-  | W_recover { from_rsn } -> handle_recover_request t ~src ~from_rsn
+  | W_recover { sender = src; from_rsn } ->
+      handle_recover_request t ~src ~from_rsn
   | W_recover_done -> (
       match t.recovery with
       | Some r ->
@@ -301,21 +351,27 @@ let handle_wire t (env : 'm wire Network.envelope) =
           if r.done_count = t.n - 1 then finish_recovery t r
       | None -> ())
 
-let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ?metrics ~next_uid ()
-    =
+let create_rt ~rt ~net ~app ~id:pid ~n ?(config = default_config) ?metrics
+    ?(stable = null_hooks) ?restore:image ~next_uid () =
   let metrics =
     match metrics with
     | Some m -> m
     | None -> Metrics.Scope.create ~protocol:"sender-based" ~process:pid ()
   in
+  let checkpoints, epoch =
+    match image with
+    | None -> (Checkpoint_store.create (), 0)
+    | Some im -> (Checkpoint_store.of_items im.im_checkpoints, im.im_epoch)
+  in
   let t =
     {
       pid;
       n;
-      engine;
+      rt;
       net;
       app;
       config;
+      stable_io = stable;
       next_uid;
       state = app.init pid;
       alive = true;
@@ -329,23 +385,39 @@ let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ?metrics ~nex
       delivered_len = 0;
       recovery = None;
       fresh_during_recovery = [];
-      checkpoints = Checkpoint_store.create ();
-      epoch = 0;
+      checkpoints;
+      epoch;
       metrics;
     }
   in
-  Network.set_handler net pid (fun env -> handle_wire t env);
-  take_checkpoint t;
+  net.Transport.set_handler pid (fun w -> handle_wire t w);
+  (match image with None -> take_checkpoint t | Some _ -> ());
   let rec checkpoint_loop () =
     if t.alive && t.recovery = None then take_checkpoint t;
-    ignore
-      (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
-         checkpoint_loop)
+    rt.Transport.schedule ~daemon:true ~delay:config.checkpoint_interval
+      checkpoint_loop
   in
-  ignore
-    (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
-       checkpoint_loop);
+  rt.Transport.schedule ~daemon:true ~delay:config.checkpoint_interval
+    checkpoint_loop;
   t
+
+let create ~engine ~net ~app ~id ~n ?config ?metrics ~next_uid () =
+  create_rt ~rt:(Transport.of_engine engine) ~net:(Transport.of_network net)
+    ~app ~id ~n ?config ?metrics ~next_uid ()
+
+(* Live-mode crash recovery for a process built with [?restore]: emit the
+   failure record for the incarnation the crash killed, then run the
+   ordinary restart — restore the last stable checkpoint and ask every
+   peer to retransmit from its volatile send log. The answers arrive
+   through the transport, so recovery completes asynchronously once all
+   [n - 1] peers (or their next incarnations) have responded. *)
+let recover t =
+  if Checkpoint_store.count t.checkpoints = 0 then
+    invalid_arg "Sender_based.recover: empty checkpoint store";
+  Metrics.Scope.incr t.metrics "failures";
+  if tr_on t then tr_emit t Trace.Failure;
+  t.alive <- false;
+  do_restart t
 
 (* Trace-sanitizer rules (optimist.check ids): no clocks on the wire,
    so only the structural rules apply. Duplicate-delivery is out: a

@@ -1,5 +1,6 @@
 module Engine = Optimist_sim.Engine
 module Network = Optimist_net.Network
+module Transport = Optimist_core.Transport
 module Ftvc = Optimist_clock.Ftvc
 module Message_log = Optimist_storage.Message_log
 module Checkpoint_store = Optimist_storage.Checkpoint_store
@@ -32,13 +33,41 @@ type config = {
 let default_config =
   { checkpoint_interval = 200.0; flush_interval = 25.0; restart_delay = 20.0 }
 
+(* Everything a crash must not erase: the flushed log prefix, the
+   checkpoints, and the announcement table (Strom-Yemini announcements
+   play the role of D-G tokens and are logged stably on receipt). *)
+type ('s, 'm) stable_hooks = {
+  log_flushed : 'm entry_log list -> unit;
+      (** newly stable entries, oldest first *)
+  log_truncated : int -> unit;  (** new total length after a rollback *)
+  checkpoint_recorded : position:int -> ('s, 'm) checkpoint -> unit;
+  checkpoints_discarded_after : position:int -> unit;
+  announcement_recorded : announcement -> unit;
+}
+
+let null_hooks =
+  {
+    log_flushed = (fun _ -> ());
+    log_truncated = (fun _ -> ());
+    checkpoint_recorded = (fun ~position:_ _ -> ());
+    checkpoints_discarded_after = (fun ~position:_ -> ());
+    announcement_recorded = (fun _ -> ());
+  }
+
+type ('s, 'm) image = {
+  im_log : 'm entry_log array; (* stable prefix, position order *)
+  im_checkpoints : (('s, 'm) checkpoint * int) list; (* newest first *)
+  im_announcements : announcement list;
+}
+
 type ('s, 'm) t = {
   pid : int;
   n : int;
-  engine : Engine.t;
-  net : 'm wire Network.t;
+  rt : Transport.runtime;
+  net : 'm wire Transport.t;
   app : ('s, 'm) app;
   config : config;
+  stable_io : ('s, 'm) stable_hooks;
   next_uid : unit -> int;
   mutable state : 's;
   mutable clock : Ftvc.t;
@@ -62,13 +91,14 @@ let incarnation t = (Ftvc.own t.clock).Ftvc.ver
 let metrics t = t.metrics
 let counters t = Metrics.Scope.counters t.metrics
 
-let tr_on t = Trace.enabled (Engine.tracer t.engine)
+let tr_on t = Trace.enabled (t.rt.Transport.tracer ())
 
 let tr_emit ?clock t kind =
   let clock = match clock with Some c -> c | None -> Ftvc.entries t.clock in
-  Trace.emit (Engine.tracer t.engine)
+  Trace.emit
+    (t.rt.Transport.tracer ())
     {
-      at = Engine.now t.engine;
+      at = t.rt.Transport.now ();
       pid = t.pid;
       ver = (Ftvc.own t.clock).Ftvc.ver;
       clock;
@@ -95,16 +125,27 @@ let message_obsolete t (clock : Ftvc.entry array) =
 
 (* --- storage --- *)
 
-let flush_now t = Message_log.flush t.log
+let flush_now t =
+  let before = Message_log.stable_length t.log in
+  Message_log.flush t.log;
+  let stable = Message_log.stable_length t.log in
+  if stable > before then begin
+    let fresh = ref [] in
+    Message_log.iter_range t.log ~from:before ~until:stable (fun e ->
+        fresh := e :: !fresh);
+    t.stable_io.log_flushed (List.rev !fresh);
+    if tr_on t then tr_emit t (Trace.Log_flush { stable })
+  end
 
 let take_checkpoint t =
   flush_now t;
   Metrics.Scope.incr t.metrics "checkpoints";
   if tr_on t then
     tr_emit t (Trace.Checkpoint { position = Message_log.total_length t.log });
-  Checkpoint_store.record t.checkpoints
-    ~position:(Message_log.total_length t.log)
-    { cp_state = t.state; cp_clock = t.clock }
+  let position = Message_log.total_length t.log in
+  let cp = { cp_state = t.state; cp_clock = t.clock } in
+  Checkpoint_store.record t.checkpoints ~position cp;
+  t.stable_io.checkpoint_recorded ~position cp
 
 (* --- sending / delivering --- *)
 
@@ -115,7 +156,7 @@ let send_app t dst data =
     Metrics.Scope.incr t.metrics "sent";
     Metrics.Scope.incr ~by:(Ftvc.size_words t.clock) t.metrics "piggyback_words";
     if tr_on t then tr_emit t (Trace.Send { uid; dst });
-    Network.send t.net ~src:t.pid ~dst
+    t.net.Transport.send ~lane:Transport.Data ~src:t.pid ~dst
       (W_app { data; clock = Ftvc.entries t.clock; sender = t.pid; uid });
     t.clock <- Ftvc.sent t.clock
   end
@@ -205,11 +246,19 @@ let restore t ~against =
           ~by:(Message_log.total_length t.log - stop)
           t.metrics "log_truncated";
         Message_log.truncate t.log stop;
-        Checkpoint_store.discard_after t.checkpoints ~position:stop
+        t.stable_io.log_truncated stop;
+        Checkpoint_store.discard_after t.checkpoints ~position:stop;
+        t.stable_io.checkpoints_discarded_after ~position:stop
       end
 
 let all_known_exact t =
   List.map (fun a -> (a, false)) t.announcements
+
+let record_announcement t a =
+  if not (has_announcement t ~origin:a.a_origin ~inc:a.a_inc) then begin
+    t.announcements <- a :: t.announcements;
+    t.stable_io.announcement_recorded a
+  end
 
 let rollback t ~trigger ~conservative =
   Metrics.Scope.incr t.metrics "rollbacks";
@@ -238,8 +287,7 @@ let receive_announcement t (a : announcement) =
   if tr_on t then
     tr_emit t
       (Trace.Token_recv { origin = a.a_origin; ver = a.a_inc; ts = a.a_ts });
-  if not (has_announcement t ~origin:a.a_origin ~inc:a.a_inc) then
-    t.announcements <- a :: t.announcements;
+  record_announcement t a;
   let e = Ftvc.get t.clock a.a_origin in
   if e.Ftvc.ver = a.a_inc && e.Ftvc.ts > a.a_ts then begin
     if tr_on t then
@@ -255,24 +303,28 @@ let receive_announcement t (a : announcement) =
 
 (* --- failure / restart --- *)
 
-let do_restart t =
-  Metrics.Scope.incr t.metrics "restarts";
-  restore t ~against:(all_known_exact t);
+(* The post-restore half of a restart: announce the surviving own entry,
+   step to the next incarnation, checkpoint the restored state. *)
+let announce_and_restart t =
   let own = Ftvc.own t.clock in
   if tr_on t then
     tr_emit t
       (Trace.Token_sent { origin = t.pid; ver = own.Ftvc.ver; ts = own.Ftvc.ts });
-  Network.broadcast t.net ~traffic:Network.Control ~src:t.pid
+  t.net.Transport.broadcast ~lane:Transport.Control ~src:t.pid
     (W_ann { a_origin = t.pid; a_inc = own.Ftvc.ver; a_ts = own.Ftvc.ts });
-  t.announcements <-
-    { a_origin = t.pid; a_inc = own.Ftvc.ver; a_ts = own.Ftvc.ts }
-    :: t.announcements;
+  record_announcement t
+    { a_origin = t.pid; a_inc = own.Ftvc.ver; a_ts = own.Ftvc.ts };
   t.clock <- Ftvc.restart t.clock;
   t.alive <- true;
   if tr_on t then
     tr_emit t (Trace.Restart { new_ver = (Ftvc.own t.clock).Ftvc.ver });
-  Network.set_up t.net t.pid;
+  t.net.Transport.set_up ~drop_held_data:false t.pid;
   take_checkpoint t
+
+let do_restart t =
+  Metrics.Scope.incr t.metrics "restarts";
+  restore t ~against:(all_known_exact t);
+  announce_and_restart t
 
 let fail t =
   if t.alive then begin
@@ -281,10 +333,9 @@ let fail t =
     Metrics.Scope.incr t.metrics "failures";
     Message_log.crash t.log;
     Array.fill t.dirty 0 t.n false;
-    Network.set_down t.net t.pid;
-    ignore
-      (Engine.schedule t.engine ~delay:t.config.restart_delay (fun () ->
-           do_restart t))
+    t.net.Transport.set_down t.pid;
+    t.rt.Transport.schedule ~daemon:false ~delay:t.config.restart_delay
+      (fun () -> do_restart t)
   end
 
 (* --- receive path: no deliverability hold --- *)
@@ -303,57 +354,81 @@ let inject t data =
   if t.alive then
     deliver_now t ~src:env_src ~clock:(Array.make t.n { Ftvc.ver = 0; ts = 0 }) data
 
-let handle_wire t (env : 'm wire Network.envelope) =
-  match env.Network.payload with
+let handle_wire t (w : 'm wire) =
+  match w with
   | W_app { data; clock; sender; uid } -> receive_app t ~src:sender ~clock ~uid data
   | W_ann a -> receive_announcement t a
 
-let create ~engine ~net ~app ~id:pid ~n ?(config = default_config) ?metrics ~next_uid ()
-    =
+let create_rt ~rt ~net ~app ~id:pid ~n ?(config = default_config) ?metrics
+    ?(stable = null_hooks) ?restore:image ~next_uid () =
   let metrics =
     match metrics with
     | Some m -> m
     | None -> Metrics.Scope.create ~protocol:"strom-yemini" ~process:pid ()
   in
+  let log, checkpoints, announcements =
+    match image with
+    | None -> (Message_log.create (), Checkpoint_store.create (), [])
+    | Some im ->
+        ( Message_log.of_stable im.im_log,
+          Checkpoint_store.of_items im.im_checkpoints,
+          im.im_announcements )
+  in
   let t =
     {
       pid;
       n;
-      engine;
+      rt;
       net;
       app;
       config;
+      stable_io = stable;
       next_uid;
       state = app.init pid;
       clock = Ftvc.create ~n ~me:pid;
       alive = true;
       replaying = false;
       dirty = Array.make n false;
-      log = Message_log.create ();
-      checkpoints = Checkpoint_store.create ();
-      announcements = [];
+      log;
+      checkpoints;
+      announcements;
       metrics;
     }
   in
-  Network.set_handler net pid (fun env -> handle_wire t env);
-  take_checkpoint t;
+  net.Transport.set_handler pid (fun w -> handle_wire t w);
+  (match image with None -> take_checkpoint t | Some _ -> ());
   let rec flush_loop () =
     if t.alive then flush_now t;
-    ignore
-      (Engine.schedule engine ~daemon:true ~delay:config.flush_interval flush_loop)
+    rt.Transport.schedule ~daemon:true ~delay:config.flush_interval flush_loop
   in
   let rec checkpoint_loop () =
     if t.alive then take_checkpoint t;
-    ignore
-      (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
-         checkpoint_loop)
+    rt.Transport.schedule ~daemon:true ~delay:config.checkpoint_interval
+      checkpoint_loop
   in
-  ignore
-    (Engine.schedule engine ~daemon:true ~delay:config.flush_interval flush_loop);
-  ignore
-    (Engine.schedule engine ~daemon:true ~delay:config.checkpoint_interval
-       checkpoint_loop);
+  rt.Transport.schedule ~daemon:true ~delay:config.flush_interval flush_loop;
+  rt.Transport.schedule ~daemon:true ~delay:config.checkpoint_interval
+    checkpoint_loop;
   t
+
+let create ~engine ~net ~app ~id ~n ?config ?metrics ~next_uid () =
+  create_rt ~rt:(Transport.of_engine engine) ~net:(Transport.of_network net)
+    ~app ~id ~n ?config ?metrics ~next_uid ()
+
+(* Live-mode recovery for a process built with [?restore]. The restore
+   runs first so the failure record carries the incarnation the crash
+   actually killed (every own-incarnation bump is flushed before any
+   later event, so the stable log always knows it); then the ordinary
+   restart tail announces and steps to the next incarnation. *)
+let recover t =
+  if Checkpoint_store.count t.checkpoints = 0 then
+    invalid_arg "Strom_yemini.recover: empty checkpoint store";
+  Metrics.Scope.incr t.metrics "failures";
+  Metrics.Scope.incr t.metrics "restarts";
+  restore t ~against:(all_known_exact t);
+  if tr_on t then tr_emit t Trace.Failure;
+  t.alive <- false;
+  announce_and_restart t
 
 (* Trace-sanitizer rules (optimist.check ids): messages piggyback full
    clocks, so the clock-integrity rules apply, and obsolete discards

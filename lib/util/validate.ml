@@ -1,0 +1,48 @@
+let int_at_least min s =
+  match int_of_string_opt s with
+  | None -> Error (Printf.sprintf "expected an integer, got %S" s)
+  | Some v when v < min ->
+      Error (Printf.sprintf "must be at least %d (got %d)" min v)
+  | Some v -> Ok v
+
+let finite_float s =
+  match float_of_string_opt s with
+  | None -> Error (Printf.sprintf "expected a number, got %S" s)
+  | Some v when not (Float.is_finite v) ->
+      Error (Printf.sprintf "must be finite (got %g)" v)
+  | Some v -> Ok v
+
+let positive_float s =
+  match finite_float s with
+  | Error _ as e -> e
+  | Ok v when v <= 0.0 -> Error (Printf.sprintf "must be positive (got %g)" v)
+  | Ok v -> Ok v
+
+let non_negative_float s =
+  match finite_float s with
+  | Error _ as e -> e
+  | Ok v when v < 0.0 ->
+      Error (Printf.sprintf "must be non-negative (got %g)" v)
+  | Ok v -> Ok v
+
+let probability s =
+  match finite_float s with
+  | Error _ as e -> e
+  | Ok v when v < 0.0 || v > 1.0 ->
+      Error (Printf.sprintf "must be a probability in [0, 1] (got %g)" v)
+  | Ok v -> Ok v
+
+let fault s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "expected SECONDS:PID, got %S" s)
+  | Some i -> (
+      let at = String.sub s 0 i in
+      let pid = String.sub s (i + 1) (String.length s - i - 1) in
+      match (float_of_string_opt at, int_of_string_opt pid) with
+      | Some at, Some pid when at > 0.0 && Float.is_finite at && pid >= 0 ->
+          Ok (at, pid)
+      | Some at, Some _ when at <= 0.0 || not (Float.is_finite at) ->
+          Error (Printf.sprintf "fault time must be positive (got %g)" at)
+      | Some _, Some pid ->
+          Error (Printf.sprintf "fault pid must be non-negative (got %d)" pid)
+      | _ -> Error (Printf.sprintf "expected SECONDS:PID, got %S" s))

@@ -190,6 +190,68 @@ let test_merge_orders_and_deduplicates_headers () =
     [ "custom"; "log_flush"; "send"; "deliver"; "checkpoint" ]
     kinds
 
+let write_trace dir name events =
+  let oc = open_out (Filename.concat dir name) in
+  let tr = Trace.create () in
+  Trace.attach tr
+    (Trace.jsonl_sink (fun line ->
+         output_string oc line;
+         flush oc));
+  List.iter (Trace.emit tr) events;
+  Trace.close tr;
+  close_out oc
+
+let merged_kinds dir =
+  let out = Filename.concat dir "merged.jsonl" in
+  let _ = Merge.run ~dir ~out in
+  Trace.fold_file out ~init:[] ~f:(fun acc ~line:_ -> function
+    | Ok e -> e :: acc
+    | Error msg -> Alcotest.fail msg)
+  |> List.rev
+
+let test_merge_identical_timestamps_stable () =
+  (* Records carrying the very same wall-clock stamp must still come out
+     in a stable order: same cause rank ties break by pid, and within one
+     process by emission order. *)
+  let dir = temp_dir () in
+  let ev at pid kind = { Trace.at; pid; ver = 0; clock = [||]; kind } in
+  write_trace dir "trace.1.g0.jsonl" [ ev 0.5 1 (Trace.Checkpoint { position = 7 }) ];
+  write_trace dir "trace.0.g0.jsonl"
+    [
+      ev 0.5 0 (Trace.Log_flush { stable = 1 });
+      ev 0.5 0 (Trace.Log_flush { stable = 2 });
+    ];
+  let payload e =
+    match e.Trace.kind with
+    | Trace.Log_flush { stable } -> (e.Trace.pid, stable)
+    | Trace.Checkpoint { position } -> (e.Trace.pid, position)
+    | _ -> (-1, -1)
+  in
+  let events =
+    List.filter (fun e -> Trace.schema_of_event e = None) (merged_kinds dir)
+  in
+  Alcotest.(check (list (pair int int)))
+    "pid then emission order under an exact tie"
+    [ (0, 1); (0, 2); (1, 7) ]
+    (List.map payload events)
+
+let test_merge_orders_generations_numerically () =
+  (* trace.0.g10 must be read after trace.0.g2 — a lexicographic file
+     sort would interleave incarnations and scramble same-stamp ties. *)
+  let dir = temp_dir () in
+  let ev at pid kind = { Trace.at; pid; ver = 0; clock = [||]; kind } in
+  write_trace dir "trace.0.g10.jsonl" [ ev 1.0 0 (Trace.Log_flush { stable = 10 }) ];
+  write_trace dir "trace.0.g2.jsonl" [ ev 1.0 0 (Trace.Log_flush { stable = 2 }) ];
+  let stables =
+    List.filter_map
+      (fun e ->
+        match e.Trace.kind with
+        | Trace.Log_flush { stable } -> Some stable
+        | _ -> None)
+      (merged_kinds dir)
+  in
+  Alcotest.(check (list int)) "older incarnation first" [ 2; 10 ] stables
+
 (* --- end to end: real processes, real SIGKILL --- *)
 
 let lint_clean path =
@@ -279,6 +341,39 @@ let test_supervised_run_with_crash () =
     (Sys.file_exists r.Supervisor.chrome);
   lint_clean r.Supervisor.merged
 
+(* Every baseline ported to the live runtime must survive a real SIGKILL
+   mid-run: the successor incarnation recovers from its store, every
+   final incarnation exits clean, and the merged trace passes the full
+   offline rule battery in strict mode (errors and warnings both zero). *)
+let baseline_survives_crash protocol () =
+  let dir = temp_dir () in
+  let cfg =
+    {
+      Supervisor.default_cfg with
+      Supervisor.dir;
+      n = 3;
+      protocol;
+      seed = 42L;
+      duration = 1.6;
+      settle = 1.2;
+      rate = 6.0;
+      hops = 3;
+      faults = [ (0.7, 1) ];
+    }
+  in
+  let r = Supervisor.run cfg in
+  Alcotest.(check int) "one crash injected" 1 r.Supervisor.crashes;
+  Alcotest.(check int) "every final incarnation exits clean" 3
+    r.Supervisor.clean_exits;
+  let restarted = ref false in
+  Trace.iter_file r.Supervisor.merged ~f:(fun ~line:_ -> function
+    | Ok { Trace.pid = 1; kind = Trace.Restart { new_ver }; _ }
+      when new_ver >= 1 ->
+        restarted := true
+    | _ -> ());
+  Alcotest.(check bool) "worker 1 restarted" true !restarted;
+  lint_clean r.Supervisor.merged
+
 let test_supervisor_validates () =
   let check_invalid name cfg =
     match Supervisor.validate cfg with
@@ -308,8 +403,20 @@ let suite =
       test_livenet_data_to_dead_peer_is_dropped;
     Alcotest.test_case "merge: global order and single header" `Quick
       test_merge_orders_and_deduplicates_headers;
+    Alcotest.test_case "merge: identical timestamps keep a stable order" `Quick
+      test_merge_identical_timestamps_stable;
+    Alcotest.test_case "merge: generations ordered numerically" `Quick
+      test_merge_orders_generations_numerically;
     Alcotest.test_case "supervised run with SIGKILL recovery" `Slow
       test_supervised_run_with_crash;
+    Alcotest.test_case "sender-based survives SIGKILL, lints strict" `Slow
+      (baseline_survives_crash Worker.Sender);
+    Alcotest.test_case "strom-yemini survives SIGKILL, lints strict" `Slow
+      (baseline_survives_crash Worker.Sy);
+    Alcotest.test_case "checkpoint-only survives SIGKILL, lints strict" `Slow
+      (baseline_survives_crash Worker.Cpo);
+    Alcotest.test_case "coordinated survives SIGKILL, lints strict" `Slow
+      (baseline_survives_crash Worker.Koo);
     Alcotest.test_case "supervisor validates parameters" `Quick
       test_supervisor_validates;
   ]

@@ -21,4 +21,5 @@ let () =
       ("obs", Test_obs.suite);
       ("check", Test_check.suite);
       ("live", Test_live.suite);
+      ("soak", Test_soak.suite);
     ]
