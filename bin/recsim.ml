@@ -403,11 +403,13 @@ let check_cmd =
     if list_rules then
       List.iter
         (fun (r : Check.rule) ->
-          Printf.printf "%s  %-22s %-7s  %s\n" r.Check.id r.Check.slug
+          Printf.printf "%s  %-22s %-7s  %-7s  %-32s  %s\n" r.Check.id
+            r.Check.slug
             (match r.Check.severity with
             | Check.Error -> "error"
             | Check.Warning -> "warning")
-            r.Check.doc)
+            (if r.Check.online_only then "online" else "-")
+            r.Check.reference r.Check.doc)
         Check.rules
     else
       match file with
@@ -982,6 +984,300 @@ let live_cmd =
           included).")
     [ live_run_cmd; live_soak_cmd; live_report_cmd ]
 
+(* --- mc --- *)
+
+module Mc_model = Optimist_mc.Model
+module Mc_explorer = Optimist_mc.Explorer
+module Mc_dpor = Optimist_mc.Dpor
+module Mc_cx = Optimist_mc.Counterexample
+
+let mc_print_counterexample (decisions, violations) =
+  Printf.printf "counterexample (%d decisions):\n" (List.length decisions);
+  List.iteri
+    (fun i d -> Printf.printf "  %2d. %s\n" (i + 1) (Mc_dpor.to_string d))
+    decisions;
+  List.iter (fun v -> Printf.printf "VIOLATION %s\n" v) violations
+
+let mc_explore_term =
+  let protocol_arg =
+    Arg.(
+      value
+      & opt protocol_conv Runner.Damani_garg
+      & info [ "protocol"; "p" ] ~docv:"PROTOCOL"
+          ~doc:
+            "Protocol to model-check (ignored when $(b,--mutate) is given: \
+             the mutant picks its own protocol).")
+  in
+  let procs_arg =
+    Arg.(
+      value
+      & opt (int_at_least 2) 3
+      & info [ "procs" ] ~docv:"N" ~doc:"Number of processes (2-4 is typical).")
+  in
+  let depth_arg =
+    Arg.(
+      value
+      & opt (int_at_least 0) 8
+      & info [ "depth" ] ~docv:"D"
+          ~doc:
+            "Maximum branch points per execution; beyond it the run is \
+             completed with the deterministic default schedule.")
+  in
+  let msgs_arg =
+    Arg.(
+      value
+      & opt (int_at_least 1) 2
+      & info [ "msgs" ] ~docv:"K"
+          ~doc:"Application messages injected at t=0, round-robin over pids.")
+  in
+  let hops_arg =
+    Arg.(
+      value
+      & opt (int_at_least 0) 2
+      & info [ "hops" ] ~docv:"H" ~doc:"Forwarding hops per injected message.")
+  in
+  let crashes_arg =
+    Arg.(
+      value
+      & opt (int_at_least 0) 1
+      & info [ "crashes" ] ~docv:"C"
+          ~doc:"Crash-injection budget per execution.")
+  in
+  let naive_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "naive" ]
+          ~doc:
+            "Disable partial-order reduction and enumerate every schedule \
+             (the default is $(b,--dpor)).")
+  in
+  let dpor_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "dpor" ]
+          ~doc:"Sleep-set partial-order reduction (the default).")
+  in
+  let mutate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"MUTANT"
+          ~doc:
+            "Check a deliberately broken protocol variant (see \
+             $(b,--list-mutants)).")
+  in
+  let list_mutants_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "list-mutants" ] ~doc:"List the shipped mutants and exit.")
+  in
+  let max_schedules_arg =
+    Arg.(
+      value
+      & opt (int_at_least 0) 0
+      & info [ "max-schedules" ] ~docv:"M"
+          ~doc:"Stop after exploring $(docv) schedules (0 = exhaustive).")
+  in
+  let max_steps_arg =
+    Arg.(
+      value
+      & opt (int_at_least 1) 200_000
+      & info [ "max-steps" ] ~docv:"S"
+          ~doc:"Per-execution event budget (runaway guard).")
+  in
+  let no_fingerprint_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "no-fingerprint" ]
+          ~doc:"Disable state-fingerprint pruning of revisited states.")
+  in
+  let keep_going_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "keep-going" ]
+          ~doc:
+            "Do not stop at the first counterexample; report every distinct \
+             violation found.")
+  in
+  let cx_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cx" ] ~docv:"FILE"
+          ~doc:
+            "Write the first counterexample as JSON to $(docv) (replayable \
+             with `recsim mc replay').")
+  in
+  let action protocol procs depth msgs hops crashes naive dpor mutate
+      list_mutants max_schedules max_steps no_fingerprint keep_going cx_file =
+    if list_mutants then begin
+      List.iter
+        (fun (m : Mc_model.mutant) ->
+          Printf.printf "%-18s %-12s %s  %s\n" m.Mc_model.mu_name
+            (Runner.protocol_name m.Mc_model.mu_protocol) m.Mc_model.mu_rule
+            m.Mc_model.mu_doc)
+        Mc_model.mutants;
+      exit 0
+    end;
+    if naive && dpor then begin
+      prerr_endline "recsim mc: --naive and --dpor are mutually exclusive";
+      exit 2
+    end;
+    let protocol, mutation =
+      match mutate with
+      | None -> (protocol, "")
+      | Some name -> (
+          match Mc_model.find_mutant name with
+          | Some m -> (m.Mc_model.mu_protocol, name)
+          | None ->
+              Printf.eprintf
+                "recsim mc: unknown mutant %S (see --list-mutants)\n" name;
+              exit 2)
+    in
+    let cfg =
+      { Mc_model.protocol; n = procs; msgs; hops; crashes; mutation }
+    in
+    (try Mc_model.validate cfg
+     with Invalid_argument msg ->
+       Printf.eprintf "recsim mc: %s\n" msg;
+       exit 2);
+    let opts =
+      {
+        Mc_explorer.depth;
+        max_steps;
+        max_schedules;
+        fingerprint = not no_fingerprint;
+        mode = (if naive then Mc_explorer.Naive else Mc_explorer.Dpor);
+        stop_on_violation = not keep_going;
+        log_schedules = false;
+      }
+    in
+    let outcome =
+      Mc_explorer.explore ~build:(fun () -> Mc_model.build cfg) ~crashes opts
+    in
+    Printf.printf "protocol: %s%s\n" (Runner.protocol_name protocol)
+      (if mutation = "" then "" else "  mutation: " ^ mutation);
+    Printf.printf "mode: %s  depth: %d  procs: %d  msgs: %d  hops: %d  crashes: %d\n"
+      (if naive then "naive" else "dpor")
+      depth procs msgs hops crashes;
+    Printf.printf
+      "schedules: %d  pruned(sleep): %d  pruned(fp): %d  truncated: %d  max \
+       branch depth: %d\n"
+      outcome.Mc_explorer.o_schedules outcome.Mc_explorer.o_pruned_sleep
+      outcome.Mc_explorer.o_pruned_fp outcome.Mc_explorer.o_truncated
+      outcome.Mc_explorer.o_max_points;
+    Printf.printf "exploration: %s\n"
+      (if outcome.Mc_explorer.o_exhausted then "exhaustive"
+       else if outcome.Mc_explorer.o_violation <> None then
+         "stopped at first counterexample"
+       else "stopped at schedule limit");
+    match outcome.Mc_explorer.o_violation with
+    | None -> Printf.printf "no violations found\n"
+    | Some ((decisions, violations) as cxpair) ->
+        mc_print_counterexample cxpair;
+        if outcome.Mc_explorer.o_all_violations <> violations then
+          List.iter
+            (fun v -> Printf.printf "also seen: %s\n" v)
+            (List.filter
+               (fun v -> not (List.mem v violations))
+               outcome.Mc_explorer.o_all_violations);
+        (match cx_file with
+        | None -> ()
+        | Some path ->
+            let cx =
+              {
+                Mc_cx.cx_cfg = cfg;
+                cx_decisions = decisions;
+                cx_violations = violations;
+              }
+            in
+            let oc = open_out path in
+            output_string oc (Mc_cx.to_string cx);
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "counterexample written to %s\n" path);
+        exit 1
+  in
+  Term.(
+    const action $ protocol_arg $ procs_arg $ depth_arg $ msgs_arg $ hops_arg
+    $ crashes_arg $ naive_arg $ dpor_arg $ mutate_arg $ list_mutants_arg
+    $ max_schedules_arg $ max_steps_arg $ no_fingerprint_arg $ keep_going_arg
+    $ cx_arg)
+
+let mc_replay_cmd =
+  let cx_file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"CX" ~doc:"Counterexample JSON written by `recsim mc --cx'.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Write the re-executed schedule as a JSONL trace to $(docv) \
+             (default: stdout), ready for `recsim check' / `recsim trace'.")
+  in
+  let action cx_file out =
+    match cx_file with
+    | None ->
+        prerr_endline "recsim mc replay: a counterexample FILE is required";
+        exit 2
+    | Some path -> (
+        let contents =
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match Mc_cx.of_string (String.trim contents) with
+        | Error msg ->
+            Printf.eprintf "recsim mc replay: %s\n" msg;
+            exit 2
+        | Ok cx ->
+            let run write = Mc_cx.replay ~write cx in
+            let violations =
+              match out with
+              | None -> run print_string
+              | Some file ->
+                  let oc = open_out file in
+                  Fun.protect
+                    ~finally:(fun () -> close_out oc)
+                    (fun () -> run (output_string oc))
+            in
+            List.iter
+              (fun v -> Printf.eprintf "VIOLATION %s\n" v)
+              violations;
+            if violations = [] then begin
+              prerr_endline
+                "recsim mc replay: schedule no longer violates (stale \
+                 counterexample?)";
+              exit 1
+            end)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a counterexample and emit it as a standard JSONL trace.")
+    Term.(const action $ cx_file_arg $ out_arg)
+
+let mc_cmd =
+  Cmd.group
+    ~default:mc_explore_term
+    (Cmd.info "mc"
+       ~doc:
+         "Exhaustively model-check small configurations: enumerate schedules \
+          and crash points (with partial-order reduction) and report any \
+          invariant violation as a replayable counterexample.")
+    [ mc_replay_cmd ]
+
 (* --- compare --- *)
 
 let compare_cmd =
@@ -1061,6 +1357,7 @@ let () =
             trace_cmd;
             check_cmd;
             report_cmd;
+            mc_cmd;
             live_cmd;
             compare_cmd;
             list_cmd;

@@ -48,20 +48,28 @@ let process t i = t.procs.(i)
 
 let processes t = t.procs
 
+let label kind pid =
+  { Engine.l_kind = kind; l_pid = pid; l_src = -1; l_info = "" }
+
 let inject_at t ~at ~pid data =
   ignore
-    (Engine.schedule_at t.engine at (fun () ->
+    (Engine.schedule_at t.engine ~label:(label "inject" pid) at (fun () ->
          Process.inject t.procs.(pid) data))
 
 let fail_at t ~at ~pid =
-  ignore (Engine.schedule_at t.engine at (fun () -> Process.fail t.procs.(pid)))
+  ignore
+    (Engine.schedule_at t.engine ~label:(label "crash" pid) at (fun () ->
+         Process.fail t.procs.(pid)))
 
 let partition_at t ~at ~groups =
   ignore
-    (Engine.schedule_at t.engine at (fun () -> Network.partition t.net groups))
+    (Engine.schedule_at t.engine ~label:(label "net" (-1)) at (fun () ->
+         Network.partition t.net groups))
 
 let heal_at t ~at =
-  ignore (Engine.schedule_at t.engine at (fun () -> Network.heal t.net))
+  ignore
+    (Engine.schedule_at t.engine ~label:(label "net" (-1)) at (fun () ->
+         Network.heal t.net))
 
 let run ?until t = Engine.run ?until t.engine
 

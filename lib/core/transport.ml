@@ -14,7 +14,8 @@ type 'a t = {
 
 type runtime = {
   now : unit -> float;
-  schedule : daemon:bool -> delay:float -> (unit -> unit) -> unit;
+  schedule :
+    ?label:Engine.label -> daemon:bool -> delay:float -> (unit -> unit) -> unit;
   tracer : unit -> Trace.t;
 }
 
@@ -39,7 +40,7 @@ let of_engine engine =
   {
     now = (fun () -> Engine.now engine);
     schedule =
-      (fun ~daemon ~delay action ->
-        ignore (Engine.schedule engine ~daemon ~delay action));
+      (fun ?label ~daemon ~delay action ->
+        ignore (Engine.schedule engine ~daemon ?label ~delay action));
     tracer = (fun () -> Engine.tracer engine);
   }

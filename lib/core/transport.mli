@@ -34,10 +34,13 @@ type 'a t = {
     wall-clock seconds), a one-shot timer, and the structured-trace
     recorder. [daemon] timers must not keep an otherwise-quiescent
     substrate alive (the simulation engine stops when only daemon events
-    remain; a live loop stops at its deadline regardless). *)
+    remain; a live loop stops at its deadline regardless). [label]
+    identifies the timer to a scheduling strategy (model checking);
+    substrates without strategies ignore it. *)
 type runtime = {
   now : unit -> float;
-  schedule : daemon:bool -> delay:float -> (unit -> unit) -> unit;
+  schedule :
+    ?label:Engine.label -> daemon:bool -> delay:float -> (unit -> unit) -> unit;
   tracer : unit -> Trace.t;
 }
 

@@ -88,6 +88,23 @@ type 'm log_entry =
 
 (** {2 Configuration} *)
 
+(** Deliberately broken protocol variants, used by the model checker's
+    self-test ([recsim mc --mutate]): each one disables exactly one
+    mechanism a sanitizer rule or the oracle guards, so an exploration
+    of the mutant must produce a counterexample. Never enable these
+    outside a checking context. *)
+type mutation =
+  | M_none
+  | M_drop_piggyback
+      (** do not piggyback the FTVC on the 0 → 1 edge (breaks the
+          Section 5 history mechanism; OPT004 catches the mismatch) *)
+  | M_skip_dedup
+      (** deliver duplicates instead of suppressing them by uid
+          (breaks the Section 3 channel contract; OPT003) *)
+  | M_eager_rollback
+      (** roll back on every received token, orphaned or not (breaks
+          Lemma 3 exactness / at-most-one-rollback; OPT011) *)
+
 type config = {
   checkpoint_interval : float;
       (** virtual time between periodic checkpoints *)
@@ -119,6 +136,8 @@ type config = {
       (** Section 6.5: track logged frontiers (piggybacked on messages and
           gossiped on flush) and buffer application outputs until the
           producing state provably can never be lost or rolled back. *)
+  mutation : mutation;
+      (** which deliberate bug (if any) to enable; [M_none] normally *)
 }
 
 let default_config =
@@ -131,6 +150,7 @@ let default_config =
     drop_in_flight_on_crash = false;
     retransmit_lost = false;
     commit_outputs = false;
+    mutation = M_none;
   }
 
 let output_dst = -1

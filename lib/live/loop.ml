@@ -48,7 +48,8 @@ let tracer t = t.tracer
 let runtime t =
   {
     Transport.now = (fun () -> now t);
-    schedule = (fun ~daemon:_ ~delay action -> schedule t ~delay action);
+    schedule =
+      (fun ?label:_ ~daemon:_ ~delay action -> schedule t ~delay action);
     tracer = (fun () -> t.tracer);
   }
 

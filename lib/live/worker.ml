@@ -308,7 +308,8 @@ let run_dg cfg loop sctx net store =
 
 let live_pessimist_config =
   {
-    Pessimistic.sync_write_latency = 0.002;
+    Pessimistic.default_config with
+    sync_write_latency = 0.002;
     checkpoint_interval = 1.0;
     restart_delay = 0.3;
   }

@@ -1,0 +1,21 @@
+(** Serializable counterexamples: a configuration plus the decision
+    sequence that reaches the violation, replayable into a standard
+    JSONL trace. *)
+
+type t = {
+  cx_cfg : Model.cfg;
+  cx_decisions : Dpor.decision list;
+  cx_violations : string list;
+}
+
+val to_json : t -> Optimist_obs.Json.t
+val to_string : t -> string
+
+val of_json : Optimist_obs.Json.t -> (t, string) result
+val of_string : string -> (t, string) result
+
+val replay : write:(string -> unit) -> t -> string list
+(** Re-run the counterexample's schedule on a fresh instance, streaming
+    the execution as a JSONL trace (schema header included) through
+    [write]. Returns the violations the re-execution reports — empty
+    means the counterexample no longer reproduces. *)

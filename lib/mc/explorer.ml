@@ -1,0 +1,192 @@
+(* Depth-first stateless exploration over the branch points reported by
+   {!Strategy.execute}. Each execution contributes a stack of frames —
+   one per fresh branch point — whose untried alternatives drive the
+   next executions. In DPOR mode, sleep sets (Godefroid) cut executions
+   that only reorder independent transitions of one already explored. *)
+
+type mode = Naive | Dpor
+
+type opts = {
+  depth : int;  (** max branch points per execution *)
+  max_steps : int;  (** per-execution event budget (runaway guard) *)
+  max_schedules : int;  (** stop after this many executions; 0 = unlimited *)
+  fingerprint : bool;
+  mode : mode;
+  stop_on_violation : bool;
+  log_schedules : bool;
+      (** record every completed execution's decision sequence (test
+          support; memory-heavy on big trees) *)
+}
+
+let default_opts =
+  {
+    depth = 6;
+    max_steps = 200_000;
+    max_schedules = 0;
+    fingerprint = true;
+    mode = Dpor;
+    stop_on_violation = true;
+    log_schedules = false;
+  }
+
+type outcome = {
+  o_schedules : int;  (** executions actually run *)
+  o_pruned_fp : int;
+  o_pruned_sleep : int;
+  o_truncated : int;
+  o_exhausted : bool;
+      (** the frontier drained within the limits: the run covered every
+          non-equivalent schedule up to [depth] *)
+  o_max_points : int;  (** deepest branch count seen *)
+  o_violation : (Dpor.decision list * string list) option;
+      (** first counterexample, prefix-minimized *)
+  o_all_violations : string list;  (** sorted, deduplicated *)
+  o_schedule_log : Dpor.decision list list;
+      (** completed executions' decision sequences, in exploration
+          order; empty unless [log_schedules] *)
+}
+
+type frame = {
+  fr_prefix : Dpor.decision list;  (** decisions leading to this point *)
+  mutable fr_todo : Dpor.decision list;
+  mutable fr_done : Dpor.decision list;
+  fr_sleep : Dpor.decision list;  (** sleep set on entry to the point *)
+}
+
+module S = Set.Make (String)
+
+(* Shrink a counterexample by prefix truncation: the shortest prefix of
+   the violating decision sequence that still violates when completed
+   with the canonical default tail. Linear in the prefix length; each
+   probe is one extra (uncounted) execution. *)
+let minimize ~build ~crashes ~max_steps decisions =
+  let arr = Array.of_list decisions in
+  let rec probe k =
+    if k > Array.length arr then None
+    else
+      let prefix = Array.to_list (Array.sub arr 0 k) in
+      let r =
+        Strategy.execute ~build ~crashes ~prefix ~depth:k ~max_steps ()
+      in
+      if (not r.Strategy.x_truncated) && r.Strategy.x_violations <> [] then
+        Some (prefix, r.Strategy.x_violations)
+      else probe (k + 1)
+  in
+  probe 0
+
+let explore ~(build : unit -> Model.instance) ~crashes opts =
+  let fp = if opts.fingerprint then Some (Fingerprint.create_table ()) else None in
+  let stack = ref [] in
+  let schedules = ref 0 in
+  let pruned_fp = ref 0 in
+  let pruned_sleep = ref 0 in
+  let truncated = ref 0 in
+  let max_points = ref 0 in
+  let schedule_log = ref [] in
+  let all_violations = ref S.empty in
+  let first_violation = ref None in
+  let stopped = ref false in
+  let run_one ~prefix ~sleep0 ~prefix_len =
+    let r =
+      Strategy.execute ~build ~crashes ~prefix ~depth:opts.depth
+        ~max_steps:opts.max_steps ~sleep0 ?fp ()
+    in
+    incr schedules;
+    if r.Strategy.x_pruned_fp then incr pruned_fp;
+    if r.Strategy.x_pruned_sleep then incr pruned_sleep;
+    if r.Strategy.x_truncated then incr truncated;
+    let npoints = List.length r.Strategy.x_points in
+    if npoints > !max_points then max_points := npoints;
+    let completed =
+      (not r.Strategy.x_pruned_fp) && (not r.Strategy.x_pruned_sleep)
+      && not r.Strategy.x_truncated
+    in
+    let decisions = Strategy.decisions_of r in
+    if completed && opts.log_schedules then
+      schedule_log := decisions :: !schedule_log;
+    if completed && r.Strategy.x_violations <> [] then begin
+      List.iter
+        (fun v -> all_violations := S.add v !all_violations)
+        r.Strategy.x_violations;
+      if !first_violation = None then begin
+        let minimized =
+          match
+            minimize ~build ~crashes ~max_steps:opts.max_steps decisions
+          with
+          | Some cx -> cx
+          | None -> (decisions, r.Strategy.x_violations)
+        in
+        first_violation := Some minimized
+      end;
+      if opts.stop_on_violation then stopped := true
+    end;
+    (* New frames for the branch points this execution discovered beyond
+       its own prefix (earlier points already have frames). *)
+    let decs = Array.of_list decisions in
+    List.iteri
+      (fun i (pt : Strategy.point) ->
+        if i >= prefix_len then begin
+          let sleep = match opts.mode with Dpor -> pt.pt_sleep | Naive -> [] in
+          let todo =
+            List.filter
+              (fun d -> d <> pt.pt_taken && not (List.mem d sleep))
+              pt.pt_alts
+          in
+          stack :=
+            {
+              fr_prefix = Array.to_list (Array.sub decs 0 i);
+              fr_todo = todo;
+              fr_done = [ pt.pt_taken ];
+              fr_sleep = sleep;
+            }
+            :: !stack
+        end)
+      r.Strategy.x_points
+  in
+  run_one ~prefix:[] ~sleep0:[] ~prefix_len:0;
+  let budget_left () =
+    opts.max_schedules = 0 || !schedules < opts.max_schedules
+  in
+  let exhausted = ref false in
+  let continue = ref true in
+  while !continue do
+    if !stopped then continue := false
+    else if not (budget_left ()) then continue := false
+    else
+      match !stack with
+      | [] ->
+          exhausted := true;
+          continue := false
+      | fr :: rest -> (
+          match fr.fr_todo with
+          | [] -> stack := rest
+          | d :: todo ->
+              fr.fr_todo <- todo;
+              (* Child sleep set: still-sleeping or already-explored
+                 siblings that commute with [d] (computed before [d]
+                 joins the done set). *)
+              let sleep0 =
+                match opts.mode with
+                | Naive -> []
+                | Dpor ->
+                    List.filter
+                      (fun z -> Dpor.independent z d)
+                      (fr.fr_sleep @ fr.fr_done)
+              in
+              fr.fr_done <- d :: fr.fr_done;
+              run_one
+                ~prefix:(fr.fr_prefix @ [ d ])
+                ~sleep0
+                ~prefix_len:(List.length fr.fr_prefix + 1))
+  done;
+  {
+    o_schedules = !schedules;
+    o_pruned_fp = !pruned_fp;
+    o_pruned_sleep = !pruned_sleep;
+    o_truncated = !truncated;
+    o_exhausted = !exhausted;
+    o_max_points = !max_points;
+    o_violation = !first_violation;
+    o_all_violations = S.elements !all_violations;
+    o_schedule_log = List.rev !schedule_log;
+  }

@@ -1,0 +1,57 @@
+module Engine = Optimist_sim.Engine
+
+(* FNV-1a over the observable model state: application digests, the
+   crash budget, virtual time, and the multiset of pending events. Two
+   interleavings that reach the same fingerprint have the same future
+   behaviour under the default tail policy, so the second can be cut.
+
+   Pending events are hashed in (time, label) order — never by engine
+   seq, which differs between interleavings of the same state. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let mix h x = Int64.mul (Int64.logxor h (Int64.of_int x)) fnv_prime
+
+let mix_string h s =
+  let h = ref (mix h (String.length s)) in
+  String.iter (fun c -> h := mix !h (Char.code c)) s;
+  !h
+
+let state ~digest ~clock ~budget ~(queued : Engine.candidate array) =
+  let items = Array.to_list queued in
+  let sorted =
+    List.sort
+      (fun (a : Engine.candidate) (b : Engine.candidate) ->
+        let c = compare a.c_at b.c_at in
+        if c <> 0 then c else Dpor.compare_label a.c_label b.c_label)
+      items
+  in
+  let h = ref fnv_offset in
+  h := mix !h digest;
+  h := mix !h budget;
+  h := mix !h (Hashtbl.hash clock);
+  List.iter
+    (fun (c : Engine.candidate) ->
+      h := mix !h (Hashtbl.hash c.c_at);
+      h := mix !h (if c.c_daemon then 1 else 0);
+      h := mix_string !h c.c_label.l_kind;
+      h := mix !h c.c_label.l_pid;
+      h := mix !h c.c_label.l_src;
+      h := mix_string !h c.c_label.l_info)
+    sorted;
+  !h
+
+(* Visited table: fingerprint -> the largest remaining branching budget
+   with which that state was already explored. Re-visiting with no more
+   budget than before cannot reach anything new. *)
+type table = (int64, int) Hashtbl.t
+
+let create_table () : table = Hashtbl.create 997
+
+let seen (tbl : table) fp ~remaining =
+  match Hashtbl.find_opt tbl fp with
+  | Some r when r >= remaining -> true
+  | _ ->
+      Hashtbl.replace tbl fp remaining;
+      false

@@ -1,0 +1,25 @@
+(** State fingerprints for pruning re-visited states during
+    exploration. *)
+
+module Engine = Optimist_sim.Engine
+
+val state :
+  digest:int ->
+  clock:float ->
+  budget:int ->
+  queued:Engine.candidate array ->
+  int64
+(** FNV-1a hash of the observable model state: application/process
+    digest, virtual time, remaining crash budget, and the pending-event
+    multiset (hashed in (time, label) order — engine sequence numbers
+    are interleaving-dependent and excluded). *)
+
+type table
+
+val create_table : unit -> table
+
+val seen : table -> int64 -> remaining:int -> bool
+(** [seen tbl fp ~remaining] is [true] when [fp] was already recorded
+    with at least [remaining] branching budget left — in which case the
+    current execution cannot reach anything new and may be cut.
+    Otherwise records the pair and returns [false]. *)

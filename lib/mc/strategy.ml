@@ -1,0 +1,198 @@
+module Engine = Optimist_sim.Engine
+
+(* One controlled execution of a model instance.
+
+   The executor installs an [Engine.strategy] that, at every scheduling
+   decision, computes the full alternative set (canonically-ordered
+   enabled events, plus crash injections while budget remains), consumes
+   the supplied decision prefix at branch points, and falls back to the
+   canonical head everywhere else. Replaying the same prefix against a
+   fresh instance therefore reproduces the same execution — the whole
+   checker is stateless, no snapshotting. *)
+
+type point = {
+  pt_alts : Dpor.decision list;
+      (** every alternative at this branch point, fires first in
+          canonical order, then crash injections *)
+  pt_taken : Dpor.decision;
+  pt_sleep : Dpor.decision list;  (** sleep set on entry (DPOR mode) *)
+}
+
+type result = {
+  x_points : point list;  (** branch points in execution order *)
+  x_violations : string list;
+      (** end-of-execution verdict; only meaningful when the execution
+          ran to quiescence (neither pruned nor truncated) *)
+  x_pruned_fp : bool;
+  x_pruned_sleep : bool;
+  x_truncated : bool;  (** hit [max_steps] before quiescence *)
+  x_events : int;
+}
+
+let decisions_of r = List.map (fun p -> p.pt_taken) r.x_points
+
+exception Divergence of string
+(** A prefix decision was not available when replay reached its branch
+    point — the model is not deterministic, or the prefix is stale. *)
+
+(* Abort signal for pruned executions; raised from inside the strategy
+   and caught around the drive loop. *)
+exception Stop_fp
+exception Stop_sleep
+
+let execute ~(build : unit -> Model.instance) ~crashes ~prefix ~depth
+    ?(max_steps = 200_000) ?(sleep0 = []) ?fp () =
+  let inst = build () in
+  let engine = inst.Model.i_engine in
+  let budget = ref crashes in
+  let nchoice = ref 0 in
+  let prefix_rest = ref prefix in
+  (* The sleep set becomes active only once the prefix is consumed:
+     prefix decisions were vetted by the frames that produced them. *)
+  let sleep = ref (if prefix = [] then sleep0 else []) in
+  let points = ref [] in
+  let pruned_fp = ref false in
+  let pruned_sleep = ref false in
+  let in_sleep d = List.exists (fun z -> z = d) !sleep in
+  let record pt = points := pt :: !points in
+  let take_prefix () =
+    match !prefix_rest with
+    | [] -> None
+    | d :: rest ->
+        prefix_rest := rest;
+        if rest = [] then sleep := sleep0;
+        Some d
+  in
+  (* Crash alternatives: processes that are alive, have at least one
+     enabled event acting on them (so the crash actually races with
+     something), while budget remains. *)
+  let crash_alts (cands : Engine.candidate array) =
+    if !budget <= 0 then []
+    else begin
+      let pids = ref [] in
+      Array.iter
+        (fun (c : Engine.candidate) ->
+          let p = c.c_label.Engine.l_pid in
+          if p >= 0 && inst.Model.i_alive p && not (List.mem p !pids) then
+            pids := p :: !pids)
+        cands;
+      List.map (fun p -> Dpor.Crash p) (List.sort compare !pids)
+    end
+  in
+  let strat (cands : Engine.candidate array) =
+    (* May recurse after applying a crash decision: the enabled events
+       are unchanged (crashes cancel nothing; restarts land later), but
+       budget and liveness move, so alternatives are re-derived. *)
+    let rec decide (cands : Engine.candidate array) =
+      let canon = Dpor.canonical cands in
+      let fires = List.map snd canon in
+      let alts = fires @ crash_alts cands in
+      let is_choice = List.length alts > 1 && !nchoice < depth in
+      let taken =
+        if is_choice then begin
+          let d =
+            match take_prefix () with
+            | Some d ->
+                if not (List.mem d alts) then
+                  raise
+                    (Divergence
+                       (Printf.sprintf "prefix decision [%s] not enabled"
+                          (Dpor.to_string d)));
+                d
+            | None -> (
+                (* Fresh branch point. Fingerprint-prune only here:
+                   beyond the prefix, with no pending sleep obligations,
+                   a previously-expanded state has nothing new. *)
+                (match fp with
+                | Some tbl when !sleep = [] ->
+                    let h =
+                      Fingerprint.state
+                        ~digest:(inst.Model.i_digest ())
+                        ~clock:(Engine.now engine) ~budget:!budget
+                        ~queued:(Engine.queued engine)
+                    in
+                    if Fingerprint.seen tbl h ~remaining:(depth - !nchoice)
+                    then begin
+                      pruned_fp := true;
+                      raise Stop_fp
+                    end
+                | _ -> ());
+                match List.filter (fun d -> not (in_sleep d)) alts with
+                | [] ->
+                    pruned_sleep := true;
+                    raise Stop_sleep
+                | d :: _ -> d)
+          in
+          if in_sleep d then begin
+            pruned_sleep := true;
+            raise Stop_sleep
+          end;
+          record { pt_alts = alts; pt_taken = d; pt_sleep = !sleep };
+          incr nchoice;
+          d
+        end
+        else begin
+          (* Forced: canonical head. A forced transition that is asleep
+             means this whole execution is a re-ordering of one already
+             explored. *)
+          let d = List.hd fires in
+          if in_sleep d then begin
+            pruned_sleep := true;
+            raise Stop_sleep
+          end;
+          d
+        end
+      in
+      sleep := Dpor.filter_sleep ~taken !sleep;
+      match taken with
+      | Dpor.Crash p ->
+          decr budget;
+          inst.Model.i_crash p;
+          decide cands
+      | Dpor.Fire _ as d -> (
+          match List.find_opt (fun (_, d') -> d' = d) canon with
+          | Some ((c : Engine.candidate), _) ->
+              (* Index into [cands] of the chosen candidate. *)
+              let idx = ref (-1) in
+              Array.iteri
+                (fun i (x : Engine.candidate) ->
+                  if x.c_seq = c.c_seq then idx := i)
+                cands;
+              !idx
+          | None -> assert false)
+    in
+    decide cands
+  in
+  Engine.set_strategy engine (Some strat);
+  let steps = ref 0 in
+  let truncated = ref false in
+  let completed = ref false in
+  (try
+     let continue = ref true in
+     while !continue do
+       if Engine.live_work engine = 0 then begin
+         completed := true;
+         continue := false
+       end
+       else if !steps >= max_steps then begin
+         truncated := true;
+         continue := false
+       end
+       else if Engine.step engine then incr steps
+       else begin
+         completed := true;
+         continue := false
+       end
+     done
+   with
+  | Stop_fp -> ()
+  | Stop_sleep -> ());
+  let violations = if !completed then inst.Model.i_finish () else [] in
+  {
+    x_points = List.rev !points;
+    x_violations = violations;
+    x_pruned_fp = !pruned_fp;
+    x_pruned_sleep = !pruned_sleep;
+    x_truncated = !truncated;
+    x_events = Engine.events_fired engine;
+  }

@@ -1,0 +1,47 @@
+(** One controlled execution of a model instance: replay a decision
+    prefix, complete with the canonical default schedule, and report the
+    branch points passed on the way. *)
+
+type point = {
+  pt_alts : Dpor.decision list;
+      (** every alternative at this branch point: enabled fires in
+          canonical order, then crash injections *)
+  pt_taken : Dpor.decision;
+  pt_sleep : Dpor.decision list;  (** sleep set on entry (DPOR mode) *)
+}
+
+type result = {
+  x_points : point list;  (** branch points in execution order *)
+  x_violations : string list;
+      (** end-of-execution verdict; only meaningful when the execution
+          ran to quiescence (neither pruned nor truncated) *)
+  x_pruned_fp : bool;  (** cut at a fingerprint-known state *)
+  x_pruned_sleep : bool;  (** cut as a reordering of an explored run *)
+  x_truncated : bool;  (** hit [max_steps] before quiescence *)
+  x_events : int;
+}
+
+val decisions_of : result -> Dpor.decision list
+(** The decisions taken at this execution's branch points — the
+    schedule's identity. *)
+
+exception Divergence of string
+(** A prefix decision was not available when replay reached its branch
+    point — the model is not deterministic, or the prefix is stale. *)
+
+val execute :
+  build:(unit -> Model.instance) ->
+  crashes:int ->
+  prefix:Dpor.decision list ->
+  depth:int ->
+  ?max_steps:int ->
+  ?sleep0:Dpor.decision list ->
+  ?fp:Fingerprint.table ->
+  unit ->
+  result
+(** Build a fresh instance and drive it to quiescence under the
+    controlled scheduler. [prefix] is consumed at branch points (>1
+    alternative, within [depth]); everywhere else the canonical head
+    fires. [sleep0] is the sleep set that becomes active once the
+    prefix is consumed; [fp] enables fingerprint pruning at fresh
+    branch points. *)

@@ -140,7 +140,15 @@ let schedule_delivery t env =
         t.channel_clock.(env.src).(env.dst) <- at +. 1e-9;
         at
   in
-  ignore (Engine.schedule_at t.engine arrival (fun () -> deliver t env))
+  let label =
+    {
+      Engine.l_kind = "deliver";
+      l_pid = env.dst;
+      l_src = env.src;
+      l_info = traffic_label env.traffic;
+    }
+  in
+  ignore (Engine.schedule_at t.engine ~label arrival (fun () -> deliver t env))
 
 let send_envelope t env =
   Counters.incr t.stats (Printf.sprintf "sent.%s" (traffic_label env.traffic));

@@ -17,10 +17,21 @@ type config = {
   sync_write_latency : float;
   checkpoint_interval : float;
   restart_delay : float;
+  ack_before_fsync : bool;
+      (** Mutant for the model checker's self-test: process and
+          acknowledge a delivery before its log entry reaches stable
+          storage. Breaks the whole point of pessimism — a crash in the
+          window silently loses a processed message, and checkpoints
+          cover log positions that were never stable (OPT013). *)
 }
 
 let default_config =
-  { sync_write_latency = 0.5; checkpoint_interval = 200.0; restart_delay = 20.0 }
+  {
+    sync_write_latency = 0.5;
+    checkpoint_interval = 200.0;
+    restart_delay = 20.0;
+    ack_before_fsync = false;
+  }
 
 (* Mirrors of the stable state for an external store (the live runtime);
    the epoch is persisted so a rebuilt worker resumes counting
@@ -105,23 +116,40 @@ let run_app t ~src data =
    nothing: replay re-runs the handler from the stable log. *)
 let deliver t ?(uid = -1) ~src data =
   let entry = { e_data = data; e_sender = src } in
-  Message_log.append t.log entry;
-  Message_log.flush t.log;
-  t.stable_io.log_appended [ entry ];
-  if tr_on t then
-    tr_emit t (Trace.Log_flush { stable = Message_log.stable_length t.log });
-  Metrics.Scope.incr
-    ~by:(int_of_float (1000.0 *. t.config.sync_write_latency))
-    t.metrics "blocked_time_x1000";
-  let epoch = t.epoch in
-  t.rt.Transport.schedule ~daemon:false ~delay:t.config.sync_write_latency
-    (fun () ->
-      if t.alive && t.epoch = epoch then begin
-        Metrics.Scope.incr t.metrics "delivered";
-        if tr_on t then tr_emit t (Trace.Deliver { uid; src });
-        t.processed <- t.processed + 1;
-        run_app t ~src data
-      end)
+  if t.config.ack_before_fsync then begin
+    (* Mutant: the entry is appended but never forced; the handler runs
+       immediately, so [processed] races ahead of the stable prefix. *)
+    Message_log.append t.log entry;
+    if tr_on t then
+      tr_emit t (Trace.Log_flush { stable = Message_log.stable_length t.log });
+    Metrics.Scope.incr t.metrics "delivered";
+    if tr_on t then tr_emit t (Trace.Deliver { uid; src });
+    t.processed <- t.processed + 1;
+    run_app t ~src data
+  end
+  else begin
+    Message_log.append t.log entry;
+    Message_log.flush t.log;
+    t.stable_io.log_appended [ entry ];
+    if tr_on t then
+      tr_emit t (Trace.Log_flush { stable = Message_log.stable_length t.log });
+    Metrics.Scope.incr
+      ~by:(int_of_float (1000.0 *. t.config.sync_write_latency))
+      t.metrics "blocked_time_x1000";
+    let epoch = t.epoch in
+    t.rt.Transport.schedule
+      ~label:
+        { Transport.Engine.l_kind = "handler"; l_pid = t.pid; l_src = src;
+          l_info = "" }
+      ~daemon:false ~delay:t.config.sync_write_latency
+      (fun () ->
+        if t.alive && t.epoch = epoch then begin
+          Metrics.Scope.incr t.metrics "delivered";
+          if tr_on t then tr_emit t (Trace.Deliver { uid; src });
+          t.processed <- t.processed + 1;
+          run_app t ~src data
+        end)
+  end
 
 let inject t data =
   if t.alive then begin
@@ -161,8 +189,11 @@ let fail t =
     if tr_on t then tr_emit t Trace.Failure;
     Metrics.Scope.incr t.metrics "failures";
     t.net.Transport.set_down t.pid;
-    t.rt.Transport.schedule ~daemon:false ~delay:t.config.restart_delay
-      (fun () -> do_restart t)
+    t.rt.Transport.schedule
+      ~label:
+        { Transport.Engine.l_kind = "restart"; l_pid = t.pid; l_src = -1;
+          l_info = "" }
+      ~daemon:false ~delay:t.config.restart_delay (fun () -> do_restart t)
   end
 
 let handle_wire t (w : 'm wire) = deliver t ~uid:w.uid ~src:w.sender w.data
@@ -203,13 +234,17 @@ let create_rt ~rt ~net ~app ~id:pid ~n:_ ?(config = default_config) ?metrics
   in
   net.Transport.set_handler pid (fun w -> handle_wire t w);
   (match image with None -> take_checkpoint t | Some _ -> ());
+  let timer =
+    { Transport.Engine.l_kind = "timer"; l_pid = pid; l_src = -1;
+      l_info = "checkpoint" }
+  in
   let rec checkpoint_loop () =
     if t.alive then take_checkpoint t;
-    rt.Transport.schedule ~daemon:true ~delay:config.checkpoint_interval
-      checkpoint_loop
+    rt.Transport.schedule ~label:timer ~daemon:true
+      ~delay:config.checkpoint_interval checkpoint_loop
   in
-  rt.Transport.schedule ~daemon:true ~delay:config.checkpoint_interval
-    checkpoint_loop;
+  rt.Transport.schedule ~label:timer ~daemon:true
+    ~delay:config.checkpoint_interval checkpoint_loop;
   t
 
 let create ~engine ~net ~app ~id ~n ?config ?metrics ~next_uid () =
@@ -229,6 +264,9 @@ let recover t =
 
 (* Trace-sanitizer rules (optimist.check ids) this baseline's event
    stream satisfies. No FTVCs are piggybacked, so the clock-carrying
-   rules do not apply, and checkpoint positions count processed
-   messages rather than log entries, ruling out checkpoint-stability. *)
-let check_rules = [ "OPT001"; "OPT002"; "OPT003"; "OPT006"; "OPT007" ]
+   rules do not apply. Checkpoint positions count processed entries,
+   and a handler only runs once its entry is stable, so the
+   checkpoint-stability rule (OPT013) holds too — which is exactly what
+   the [ack_before_fsync] mutant breaks. *)
+let check_rules =
+  [ "OPT001"; "OPT002"; "OPT003"; "OPT006"; "OPT007"; "OPT013" ]

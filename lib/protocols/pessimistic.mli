@@ -31,6 +31,9 @@ type config = {
       (** stable-storage latency charged to every delivery *)
   checkpoint_interval : float;
   restart_delay : float;
+  ack_before_fsync : bool;
+      (** deliberately broken variant for [recsim mc --mutate]: run the
+          handler before the log entry is stable (OPT013 catches it) *)
 }
 
 val default_config : config

@@ -16,6 +16,23 @@ type time = float
 type cancel
 (** Handle for revoking a scheduled event. *)
 
+type label = {
+  l_kind : string;  (** e.g. ["deliver"], ["restart"], ["timer"] *)
+  l_pid : int;  (** process the event acts on; [-1] when not applicable *)
+  l_src : int;  (** sending process for deliveries; [-1] otherwise *)
+  l_info : string;  (** free-form discriminator, e.g. the traffic lane *)
+}
+(** Identity of a scheduled event as seen by a scheduling strategy.
+    Labels are stable across replays of the same model (they name what
+    the event {e does}, not when it was scheduled), which is what lets
+    the model checker address "the delivery from 0 to 2" across
+    different interleavings. *)
+
+val anon : label
+(** The label events get when the scheduling site does not provide one.
+    Anonymous events are still schedulable and explorable, but a
+    strategy cannot tell two of them apart except by queue order. *)
+
 val create : ?seed:int64 -> unit -> t
 (** [create ~seed ()] makes an engine whose PRNG is seeded with [seed]
     (default [1L]). *)
@@ -42,16 +59,21 @@ val ensure_tracer : t -> Optimist_obs.Trace.t
     monitors, ad-hoc sinks) attach to an engine whose caller did not ask
     for tracing, without clobbering a recorder that is already set. *)
 
-val schedule : t -> ?daemon:bool -> delay:time -> (unit -> unit) -> cancel
+val schedule :
+  t -> ?daemon:bool -> ?label:label -> delay:time -> (unit -> unit) -> cancel
 (** [schedule t ~delay f] runs [f] at [now t +. delay]. [delay] must be
     non-negative. Returns a cancellation handle.
 
     A [daemon] event (default [false]) does not keep the simulation alive:
     [run] stops once only daemon events remain. Periodic self-rescheduling
     timers (log flush, checkpointing) are daemons; everything that is real
-    work (message deliveries, crashes, stimuli) is not. *)
+    work (message deliveries, crashes, stimuli) is not.
 
-val schedule_at : t -> ?daemon:bool -> time -> (unit -> unit) -> cancel
+    [label] (default {!anon}) names the event for scheduling strategies;
+    it has no effect on execution. *)
+
+val schedule_at :
+  t -> ?daemon:bool -> ?label:label -> time -> (unit -> unit) -> cancel
 (** Absolute-time variant; the time must not be in the past. *)
 
 val cancel : t -> cancel -> unit
@@ -71,10 +93,57 @@ val run : ?until:time -> ?max_events:int -> t -> unit
     clock) if the simulation is resumed. *)
 
 val step : t -> bool
-(** Fire the single next event; [false] when the queue is empty. *)
+(** Fire the single next event; [false] when the queue is empty. With a
+    strategy installed (see {!set_strategy}), fire the enabled event the
+    strategy picks instead of the FIFO head. *)
+
+(** {2 Scheduler seam}
+
+    Events scheduled for the same virtual instant are mutually
+    concurrent: the engine's default FIFO tie-break is one valid
+    serialization among many. A {e strategy} replaces that tie-break
+    with an arbitrary choice over the {e enabled set} — the non-cancelled
+    events queued for the earliest instant — which is the seam the
+    model checker ([lib/mc]) drives to enumerate interleavings. *)
+
+type candidate = {
+  c_seq : int;  (** engine sequence number; unique handle for this run *)
+  c_at : time;
+  c_daemon : bool;
+  c_label : label;
+}
+
+type strategy = candidate array -> int
+(** Called by {!step} with the enabled set (ascending [c_seq]); returns
+    the index of the event to fire. The strategy may perform side
+    effects (e.g. inject a crash) before answering; if its side effects
+    cancel the chosen event, {!step} re-gathers and asks again. *)
+
+val set_strategy : t -> strategy option -> unit
+(** Install or remove a scheduling strategy. [None] (the initial state)
+    restores the default deterministic FIFO order. *)
+
+val enabled : t -> candidate array
+(** The current enabled set, in ascending [c_seq] order; empty when the
+    queue is drained. Inspection only — does not advance time. *)
+
+val queued : t -> candidate array
+(** Every pending non-cancelled event (daemons included), ascending
+    [(time, seq)]. O(pending); meant for state fingerprinting in the
+    model checker, not for hot paths. *)
 
 val pending : t -> int
 (** Number of events still queued (including cancelled tombstones). *)
+
+val live_pending : t -> int
+(** Number of queued events that will actually fire — cancelled
+    tombstones excluded, daemons included. Unlike {!pending}, this is an
+    accurate enabled-work measure. *)
+
+val live_work : t -> int
+(** Queued non-daemon, non-cancelled events — the count {!run} uses to
+    decide quiescence. [0] means only daemon timers (or tombstones)
+    remain. *)
 
 val events_fired : t -> int
 (** Total events executed since creation. *)

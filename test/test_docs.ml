@@ -1,0 +1,84 @@
+(* Golden-sync checks between the documentation and the code: the OPT
+   rule table in DESIGN.md section 9 must match Check.rules exactly
+   (id, slug, severity, online-only flag, paper reference), so the docs
+   cannot silently drift from the sanitizer. *)
+
+module Check = Optimist_check.Check
+
+(* The test binary runs in _build/default/test; DESIGN.md is declared as
+   a dune dep one level up. *)
+let design_md = Filename.concat ".." "DESIGN.md"
+
+let read_lines file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+type row = {
+  row_id : string;
+  row_slug : string;
+  row_severity : Check.severity;
+  row_online : bool;
+  row_reference : string;
+}
+
+let parse_row line =
+  match String.split_on_char '|' line with
+  | "" :: id :: slug :: severity :: reference :: _doc ->
+      let severity = String.trim severity in
+      let row_severity, row_online =
+        match severity with
+        | "error" -> (Check.Error, false)
+        | "warning" -> (Check.Warning, false)
+        | "error (online only)" -> (Check.Error, true)
+        | "warning (online only)" -> (Check.Warning, true)
+        | s -> Alcotest.failf "DESIGN.md rule table: bad severity %S" s
+      in
+      {
+        row_id = String.trim id;
+        row_slug = String.trim slug;
+        row_severity;
+        row_online;
+        row_reference = String.trim reference;
+      }
+  | _ -> Alcotest.failf "DESIGN.md rule table: unparsable row %S" line
+
+let rule_rows () =
+  read_lines design_md
+  |> List.filter (fun l ->
+         String.length l >= 6 && String.sub l 0 6 = "| OPT0")
+  |> List.map parse_row
+
+let test_rule_table_in_sync () =
+  let rows = rule_rows () in
+  Alcotest.(check int)
+    "DESIGN.md lists every rule" (List.length Check.rules) (List.length rows);
+  List.iter2
+    (fun row (rule : Check.rule) ->
+      Alcotest.(check string) "id" rule.Check.id row.row_id;
+      Alcotest.(check string) (rule.Check.id ^ " slug") rule.Check.slug
+        row.row_slug;
+      Alcotest.(check bool)
+        (rule.Check.id ^ " severity")
+        true
+        (row.row_severity = rule.Check.severity);
+      Alcotest.(check bool)
+        (rule.Check.id ^ " online-only flag")
+        rule.Check.online_only row.row_online;
+      Alcotest.(check string)
+        (rule.Check.id ^ " reference")
+        rule.Check.reference row.row_reference)
+    rows Check.rules
+
+let suite =
+  [
+    Alcotest.test_case "DESIGN.md section 9 rule table matches Check.rules"
+      `Quick test_rule_table_in_sync;
+  ]

@@ -115,6 +115,51 @@ let test_events_fired_counter () =
   Engine.run e;
   Alcotest.(check int) "count" 7 (Engine.events_fired e)
 
+(* Regression: [pending] counts cancelled tombstones (they stay in the
+   heap until popped); [live_pending] must not. *)
+let test_live_pending_excludes_tombstones () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> ()));
+  let c = Engine.schedule e ~delay:2.0 (fun () -> ()) in
+  ignore (Engine.schedule e ~daemon:true ~delay:3.0 (fun () -> ()));
+  Engine.cancel e c;
+  Alcotest.(check int) "pending counts the tombstone" 3 (Engine.pending e);
+  Alcotest.(check int) "live_pending does not" 2 (Engine.live_pending e);
+  Alcotest.(check int) "live_work excludes the daemon too" 1
+    (Engine.live_work e);
+  Engine.run e;
+  (* run stops at quiescence (live_work = 0): the live event fired and
+     was deducted; only the never-fired daemon remains queued. *)
+  Alcotest.(check int) "only the daemon remains" 1 (Engine.live_pending e);
+  Alcotest.(check int) "no live work" 0 (Engine.live_work e)
+
+(* The scheduler seam: a strategy over the enabled set replaces the FIFO
+   tie-break, and the enabled set exposes labels without advancing
+   time. *)
+let test_strategy_overrides_tie_break () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  for i = 1 to 4 do
+    let label =
+      { Engine.l_kind = "n"; l_pid = i; l_src = -1; l_info = "" }
+    in
+    ignore
+      (Engine.schedule e ~label ~delay:1.0 (fun () -> fired := i :: !fired))
+  done;
+  let cands = Engine.enabled e in
+  Alcotest.(check int) "enabled sees all four" 4 (Array.length cands);
+  Alcotest.(check int) "labels survive" 3 cands.(2).Engine.c_label.Engine.l_pid;
+  (* Fire highest-seq first: exactly the reverse of the FIFO order. *)
+  Engine.set_strategy e (Some (fun cands -> Array.length cands - 1));
+  Engine.run e;
+  Alcotest.(check (list int)) "reverse order" [ 4; 3; 2; 1 ] (List.rev !fired);
+  Engine.set_strategy e None;
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> fired := 9 :: !fired));
+  Engine.run e;
+  Alcotest.(check (list int))
+    "default restored" [ 4; 3; 2; 1; 9 ]
+    (List.rev !fired)
+
 let suite =
   [
     Alcotest.test_case "events fire in time order" `Quick test_time_order;
@@ -131,4 +176,8 @@ let suite =
     Alcotest.test_case "until horizon" `Quick test_until_horizon;
     Alcotest.test_case "manual stepping" `Quick test_step;
     Alcotest.test_case "events fired counter" `Quick test_events_fired_counter;
+    Alcotest.test_case "live_pending excludes tombstones" `Quick
+      test_live_pending_excludes_tombstones;
+    Alcotest.test_case "strategy overrides tie break" `Quick
+      test_strategy_overrides_tie_break;
   ]

@@ -20,6 +20,8 @@ let () =
       ("system", Test_system.suite);
       ("obs", Test_obs.suite);
       ("check", Test_check.suite);
+      ("mc", Test_mc.suite);
+      ("docs", Test_docs.suite);
       ("live", Test_live.suite);
       ("soak", Test_soak.suite);
     ]

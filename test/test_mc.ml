@@ -1,0 +1,213 @@
+(* Model-checker tests: the DPOR/naive equivalence property on tiny
+   configurations, one catch test per shipped mutant (including the
+   replay -> offline-lint round trip), and counterexample JSON
+   round-tripping. *)
+
+module Model = Optimist_mc.Model
+module Explorer = Optimist_mc.Explorer
+module Strategy = Optimist_mc.Strategy
+module Dpor = Optimist_mc.Dpor
+module Cx = Optimist_mc.Counterexample
+module Check = Optimist_check.Check
+module Runner = Optimist_runner.Runner
+
+let explore ?(mode = Explorer.Dpor) ?(depth = 6) ?(fingerprint = false)
+    ?(stop_on_violation = false) ?(log = true) cfg =
+  Explorer.explore
+    ~build:(fun () -> Model.build cfg)
+    ~crashes:cfg.Model.crashes
+    {
+      Explorer.default_opts with
+      Explorer.depth;
+      mode;
+      fingerprint;
+      stop_on_violation;
+      log_schedules = log;
+    }
+
+(* DPOR must visit a subset of the naive schedules yet report the
+   identical violation set — checked both on a correct model and on a
+   violating mutant, with fingerprinting off so neither side prunes by
+   state. *)
+let dpor_vs_naive cfg ~depth () =
+  let naive = explore ~mode:Explorer.Naive ~depth cfg in
+  let dpor = explore ~mode:Explorer.Dpor ~depth cfg in
+  Alcotest.(check bool) "naive exhausted" true naive.Explorer.o_exhausted;
+  Alcotest.(check bool) "dpor exhausted" true dpor.Explorer.o_exhausted;
+  Alcotest.(check bool)
+    "dpor explores no more schedules than naive" true
+    (dpor.Explorer.o_schedules <= naive.Explorer.o_schedules);
+  let key ds = Dpor.seq_to_string ds in
+  let module S = Set.Make (String) in
+  let naive_set = S.of_list (List.map key naive.Explorer.o_schedule_log) in
+  List.iter
+    (fun ds ->
+      Alcotest.(check bool)
+        (Printf.sprintf "dpor schedule [%s] also enumerated by naive" (key ds))
+        true (S.mem (key ds) naive_set))
+    dpor.Explorer.o_schedule_log;
+  Alcotest.(check (list string))
+    "identical violation sets" naive.Explorer.o_all_violations
+    dpor.Explorer.o_all_violations
+
+let test_equiv_clean () =
+  dpor_vs_naive
+    { Model.default_cfg with Model.n = 2; msgs = 2; hops = 1; crashes = 1 }
+    ~depth:5 ()
+
+let test_equiv_mutant () =
+  dpor_vs_naive
+    {
+      Model.default_cfg with
+      Model.n = 2;
+      msgs = 1;
+      hops = 1;
+      crashes = 1;
+      mutation = "eager-rollback";
+    }
+    ~depth:6 ()
+
+(* The acceptance configuration: unmutated Damani-Garg explored
+   exhaustively, and the reduction actually reduces. *)
+let test_reduction_and_clean_dg () =
+  let cfg = Model.default_cfg in
+  let naive =
+    explore ~mode:Explorer.Naive ~depth:8 ~fingerprint:true ~log:false cfg
+  in
+  let dpor =
+    explore ~mode:Explorer.Dpor ~depth:8 ~fingerprint:true ~log:false cfg
+  in
+  Alcotest.(check bool) "exhaustive" true
+    (naive.Explorer.o_exhausted && dpor.Explorer.o_exhausted);
+  Alcotest.(check (list string)) "no violations (naive)" []
+    naive.Explorer.o_all_violations;
+  Alcotest.(check (list string)) "no violations (dpor)" []
+    dpor.Explorer.o_all_violations;
+  Alcotest.(check bool)
+    (Printf.sprintf "dpor (%d) strictly fewer schedules than naive (%d)"
+       dpor.Explorer.o_schedules naive.Explorer.o_schedules)
+    true
+    (dpor.Explorer.o_schedules < naive.Explorer.o_schedules)
+
+(* Each shipped mutant must be caught, its counterexample must replay,
+   and the replayed JSONL trace must be rejected by the offline linter
+   on exactly the mutant's rule. *)
+let test_mutant (m : Model.mutant) () =
+  let cfg =
+    {
+      Model.default_cfg with
+      Model.protocol = m.Model.mu_protocol;
+      mutation = m.Model.mu_name;
+    }
+  in
+  let outcome =
+    explore ~mode:Explorer.Dpor ~depth:8 ~fingerprint:true
+      ~stop_on_violation:true ~log:false cfg
+  in
+  match outcome.Explorer.o_violation with
+  | None -> Alcotest.failf "mutant %s: no counterexample found" m.Model.mu_name
+  | Some (decisions, violations) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "violations mention %s" m.Model.mu_rule)
+        true
+        (List.exists
+           (fun v ->
+             String.length v >= String.length m.Model.mu_rule
+             && String.sub v 0 (String.length m.Model.mu_rule)
+                = m.Model.mu_rule)
+           violations);
+      let cx =
+        { Cx.cx_cfg = cfg; cx_decisions = decisions;
+          cx_violations = violations }
+      in
+      let file = Filename.temp_file "mc_cx" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove file)
+        (fun () ->
+          let oc = open_out file in
+          let replayed =
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> Cx.replay ~write:(output_string oc) cx)
+          in
+          Alcotest.(check bool) "replay reproduces a violation" true
+            (replayed <> []);
+          match Check.Lint.run file with
+          | Error msg -> Alcotest.failf "lint failed to run: %s" msg
+          | Ok report ->
+              Alcotest.(check bool)
+                (Printf.sprintf "offline linter flags %s" m.Model.mu_rule)
+                true
+                (List.exists
+                   (fun (v : Check.violation) ->
+                     v.Check.rule.Check.id = m.Model.mu_rule)
+                   report.Check.Lint.violations))
+
+(* Counterexamples survive the JSON round trip byte-exactly. *)
+let test_cx_roundtrip () =
+  let cx =
+    {
+      Cx.cx_cfg =
+        { Model.default_cfg with Model.mutation = "eager-rollback" };
+      cx_decisions =
+        [
+          Dpor.Fire { kind = "deliver"; pid = 1; src = 0; info = "data";
+                      nth = 1 };
+          Dpor.Crash 2;
+          Dpor.Fire { kind = "timer"; pid = 0; src = -1; info = "flush";
+                      nth = 0 };
+        ];
+      cx_violations = [ "OPT011 rollback-bound: rollback without a detected \
+                         orphan" ];
+    }
+  in
+  match Cx.of_string (Cx.to_string cx) with
+  | Error msg -> Alcotest.failf "round trip failed: %s" msg
+  | Ok cx' ->
+      Alcotest.(check bool) "round trip is identity" true (cx = cx');
+      Alcotest.(check string) "second render is stable" (Cx.to_string cx)
+        (Cx.to_string cx')
+
+(* Replaying a decision prefix must be deterministic: the same prefix
+   reaches the same branch points and the same verdict. *)
+let test_replay_deterministic () =
+  let cfg = { Model.default_cfg with Model.mutation = "eager-rollback" } in
+  let outcome =
+    explore ~mode:Explorer.Dpor ~depth:8 ~fingerprint:true
+      ~stop_on_violation:true ~log:false cfg
+  in
+  match outcome.Explorer.o_violation with
+  | None -> Alcotest.fail "expected a counterexample"
+  | Some (decisions, violations) ->
+      let run () =
+        Strategy.execute
+          ~build:(fun () -> Model.build cfg)
+          ~crashes:cfg.Model.crashes ~prefix:decisions
+          ~depth:(List.length decisions) ()
+      in
+      let a = run () and b = run () in
+      Alcotest.(check (list string))
+        "same violations as the explorer" violations
+        a.Strategy.x_violations;
+      Alcotest.(check bool) "two replays agree" true
+        (Strategy.decisions_of a = Strategy.decisions_of b
+        && a.Strategy.x_violations = b.Strategy.x_violations)
+
+let suite =
+  [
+    Alcotest.test_case "dpor-subset-equal-violations (clean)" `Quick
+      test_equiv_clean;
+    Alcotest.test_case "dpor-subset-equal-violations (mutant)" `Quick
+      test_equiv_mutant;
+    Alcotest.test_case "unmutated DG exhaustive, dpor reduces" `Quick
+      test_reduction_and_clean_dg;
+    Alcotest.test_case "counterexample json round-trip" `Quick
+      test_cx_roundtrip;
+    Alcotest.test_case "replay deterministic" `Quick
+      test_replay_deterministic;
+  ]
+  @ List.map
+      (fun (m : Model.mutant) ->
+        Alcotest.test_case ("catch mutant " ^ m.Model.mu_name) `Quick
+          (test_mutant m))
+      Model.mutants
