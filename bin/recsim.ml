@@ -29,6 +29,8 @@ module Live_worker = Optimist_live.Worker
 module Report = Optimist_obs.Report
 module Soak = Optimist_soak.Soak
 module Scenario = Optimist_soak.Scenario
+module Cluster = Optimist_cluster.Coordinator
+module Cluster_agent = Optimist_cluster.Agent
 open Cmdliner
 
 (* --- validated numeric conversions ---
@@ -72,9 +74,12 @@ let pattern_conv =
     | s -> (
         match String.index_opt s ':' with
         | Some i when String.sub s 0 i = "client-server" -> (
-            match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
-            | Some k -> Ok (Traffic.Client_server k)
-            | None -> Error (`Msg "client-server:<servers> expects an integer"))
+            match
+              Validate.int_at_least 1
+                (String.sub s (i + 1) (String.length s - i - 1))
+            with
+            | Ok k -> Ok (Traffic.Client_server k)
+            | Error m -> Error (`Msg ("client-server:<servers> " ^ m)))
         | _ ->
             Error
               (`Msg
@@ -599,6 +604,7 @@ let live_run_cmd =
         restart_delay;
         jitter = Live.default_cfg.Live.jitter;
         telemetry;
+        link = None;
       }
     in
     match Live.run cfg with
@@ -984,6 +990,294 @@ let live_cmd =
           included).")
     [ live_run_cmd; live_soak_cmd; live_report_cmd ]
 
+(* --- cluster --- *)
+
+let host_port_conv =
+  conv_of Validate.host_port (fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p)
+
+let port_conv = conv_of Validate.port Format.pp_print_int
+
+let peers_arg =
+  Arg.(
+    value
+    & opt_all host_port_conv []
+    & info [ "peer" ; "peers" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Control endpoint of an already-running `recsim cluster agent' \
+           (repeatable, one per agent). When absent, $(b,--agents) localhost \
+           agents are forked instead.")
+
+let agents_arg =
+  Arg.(
+    value
+    & opt (int_at_least 1) 2
+    & info [ "agents" ] ~docv:"K"
+        ~doc:
+          "Number of localhost agents to fork when no $(b,--peer) is given.")
+
+let port_base_arg =
+  Arg.(
+    value
+    & opt port_conv 7800
+    & info [ "port-base" ] ~docv:"PORT"
+        ~doc:"First control port for forked localhost agents.")
+
+let worker_base_arg =
+  Arg.(
+    value
+    & opt port_conv 7900
+    & info [ "worker-base" ] ~docv:"PORT"
+        ~doc:"Worker pid $(b,i) listens for mesh data on $(docv)$(b,+i).")
+
+let cluster_agent_cmd =
+  let dir_arg =
+    Arg.(
+      value
+      & opt string "cluster-agent"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Local run directory (cleared at each new plan).")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt port_conv 7800
+      & info [ "port" ] ~docv:"PORT" ~doc:"Control port to listen on.")
+  in
+  let once_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "once" ] ~doc:"Exit after serving one coordinator connection.")
+  in
+  let action dir port once =
+    match Cluster_agent.serve ~once ~dir ~port () with
+    | () -> ()
+    | exception Unix.Unix_error (e, fn, _) ->
+        Printf.eprintf "recsim cluster agent: %s: %s\n" fn
+          (Unix.error_message e);
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "agent"
+       ~doc:
+         "Host a block of live workers on this machine on behalf of a remote \
+          `recsim cluster run' coordinator.")
+    Term.(const action $ dir_arg $ port_arg $ once_arg)
+
+let cluster_run_cmd =
+  let rate_arg =
+    Arg.(
+      value
+      & opt positive_float 8.0
+      & info [ "rate" ] ~docv:"RATE"
+          ~doc:"Environment injections per process per second.")
+  in
+  let duration_arg =
+    Arg.(
+      value
+      & opt positive_float 3.0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Injection window in wall-clock seconds.")
+  in
+  let settle_arg =
+    Arg.(
+      value
+      & opt non_negative_float 2.0
+      & info [ "settle" ] ~docv:"SECONDS"
+          ~doc:"Drain time after the injection window.")
+  in
+  let hops_arg =
+    Arg.(
+      value
+      & opt (int_at_least 0) 3
+      & info [ "hops" ] ~docv:"HOPS"
+          ~doc:"Forwarding chain length per stimulus.")
+  in
+  let protocol_arg =
+    Arg.(
+      value
+      & opt live_protocol_conv Live_worker.Dg
+      & info [ "protocol"; "p" ] ~docv:"PROTOCOL"
+          ~doc:(Printf.sprintf "Protocol to run: %s." live_protocol_names))
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt_all fault_conv []
+      & info [ "fault"; "faults" ] ~docv:"SECONDS:PID"
+          ~doc:
+            "SIGKILL worker $(b,PID) that many seconds into the run \
+             (repeatable); the kill is delivered by whichever agent hosts \
+             the pid.")
+  in
+  let failures_arg =
+    Arg.(
+      value
+      & opt (int_at_least 0) 0
+      & info [ "failures" ] ~docv:"K"
+          ~doc:
+            "Additionally SIGKILL $(docv) random workers at seeded times in \
+             the middle 80% of the injection window.")
+  in
+  let drop_arg =
+    Arg.(
+      value
+      & opt probability 0.0
+      & info [ "drop" ] ~docv:"P"
+          ~doc:"Probability of dropping each Data frame at send time.")
+  in
+  let dup_arg =
+    Arg.(
+      value
+      & opt probability 0.0
+      & info [ "dup" ] ~docv:"P"
+          ~doc:"Probability of duplicating each Data frame at send time.")
+  in
+  let restart_delay_arg =
+    Arg.(
+      value
+      & opt positive_float 0.3
+      & info [ "restart-delay" ] ~docv:"SECONDS"
+          ~doc:"Crash-to-respawn delay.")
+  in
+  let lead_arg =
+    Arg.(
+      value
+      & opt positive_float 0.5
+      & info [ "lead" ] ~docv:"SECONDS"
+          ~doc:
+            "How far in the future the shared start instant is placed, so \
+             every agent's workers are connected before time starts.")
+  in
+  let action protocol n seed rate duration settle hops pattern faults failures
+      drop dup restart_delay lead peers agents port_base worker_base out =
+    let random_faults =
+      if failures = 0 then []
+      else
+        Schedule.random_crashes
+          ~seed:(Int64.add seed 100L)
+          ~n ~failures
+          ~window:(0.1 *. duration, 0.9 *. duration)
+        |> List.filter_map (function
+             | Schedule.Crash { at; pid } -> Some (at, pid)
+             | _ -> None)
+    in
+    let cfg =
+      {
+        Cluster.cc_out = out;
+        cc_n = n;
+        cc_protocol = protocol;
+        cc_seed = seed;
+        cc_duration = duration;
+        cc_settle = settle;
+        cc_rate = rate;
+        cc_hops = hops;
+        cc_pattern = pattern;
+        cc_kills = List.sort compare (faults @ random_faults);
+        cc_net =
+          {
+            Optimist_live.Livenet.drop_rate = drop;
+            dup_rate = dup;
+            partitions = [];
+          };
+        cc_restart_delay = restart_delay;
+        cc_telemetry = Live_worker.Full;
+        cc_lead = lead;
+        cc_worker_base = worker_base;
+      }
+    in
+    let result =
+      match peers with
+      | [] -> Cluster.run_forked ~log:print_endline ~port_base ~agents cfg
+      | peers -> Cluster.run ~log:print_endline cfg ~peers
+    in
+    match result with
+    | Error msg ->
+        Printf.eprintf "recsim cluster run: %s\n" msg;
+        exit 2
+    | Ok r ->
+        Printf.printf
+          "cluster run complete: %d workers on %d agent(s), %d crash(es) \
+           injected, %d clean exit(s)\n"
+          n
+          (match peers with [] -> agents | ps -> List.length ps)
+          r.Cluster.cs_crashes r.Cluster.cs_clean_exits;
+        Printf.printf "merged trace: %s (%d events, %d torn lines dropped)\n"
+          r.Cluster.cs_merged r.Cluster.cs_events r.Cluster.cs_dropped;
+        Printf.printf "chrome trace: %s\n" r.Cluster.cs_chrome;
+        Printf.printf "lint it with: recsim check %s --strict\n"
+          r.Cluster.cs_merged
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run the protocol across several machines (or several localhost \
+          agent processes) over the TCP mesh, with remotely scheduled \
+          SIGKILL injection.")
+    Term.(
+      const action $ protocol_arg $ n_arg $ seed_arg $ rate_arg $ duration_arg
+      $ settle_arg $ hops_arg $ pattern_arg $ faults_arg $ failures_arg
+      $ drop_arg $ dup_arg $ restart_delay_arg $ lead_arg $ peers_arg
+      $ agents_arg $ port_base_arg $ worker_base_arg $ live_out_arg)
+
+let cluster_soak_cmd =
+  let scenarios_arg =
+    Arg.(
+      value
+      & opt (int_at_least 1) 6
+      & info [ "scenarios" ] ~docv:"N"
+          ~doc:"Number of randomized scenarios to generate and run.")
+  in
+  let shrink_budget_arg =
+    Arg.(
+      value
+      & opt (int_at_least 0) 8
+      & info [ "shrink-budget" ] ~docv:"RUNS"
+          ~doc:
+            "Maximum cluster runs the shrinker may spend per failing \
+             scenario (0 disables shrinking).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "cluster-soak"
+      & info [ "out"; "o" ] ~docv:"DIR"
+          ~doc:"Campaign directory (scenario run dirs, campaign.jsonl).")
+  in
+  let action seed scenarios shrink_budget agents port_base worker_base out =
+    let plan =
+      Scenario.plan ~seed ~count:scenarios
+        ~protocols:[ Live_worker.Dg ]
+    in
+    let runner = Cluster.scenario_runner ~agents ~port_base ~worker_base () in
+    let summary =
+      Soak.run_campaign ~runner ~shrink_budget ~log:print_endline ~out ~plan ()
+    in
+    Printf.printf
+      "cluster soak: %d scenario(s) on %d agent(s), %d failing, %d error(s), \
+       %d crash(es) injected, %d merged events\n"
+      (List.length summary.Soak.sm_outcomes)
+      agents summary.Soak.sm_failed summary.Soak.sm_errors
+      summary.Soak.sm_crashes summary.Soak.sm_events;
+    if summary.Soak.sm_failed > 0 || summary.Soak.sm_errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Run seeded fault scenarios on a forked-localhost TCP cluster and \
+          lint every merged trace.")
+    Term.(
+      const action $ seed_arg $ scenarios_arg $ shrink_budget_arg $ agents_arg
+      $ port_base_arg $ worker_base_arg $ out_arg)
+
+let cluster_cmd =
+  Cmd.group
+    (Cmd.info "cluster"
+       ~doc:
+         "Run the live protocol across multiple hosts (or localhost agent \
+          processes) over TCP.")
+    [ cluster_agent_cmd; cluster_run_cmd; cluster_soak_cmd ]
+
 (* --- mc --- *)
 
 module Mc_model = Optimist_mc.Model
@@ -1359,6 +1653,7 @@ let () =
             report_cmd;
             mc_cmd;
             live_cmd;
+            cluster_cmd;
             compare_cmd;
             list_cmd;
           ]))

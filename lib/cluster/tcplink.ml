@@ -1,0 +1,558 @@
+module Transport = Optimist_core.Transport
+module Prng = Optimist_util.Prng
+module Metrics = Optimist_obs.Metrics
+module Loop = Optimist_live.Loop
+module Link = Optimist_live.Link
+module Livenet = Optimist_live.Livenet
+
+(* TCP mesh: worker [i] listens on [endpoints.(i)] and keeps one
+   *outbound* stream connection to every peer. Connections are directed:
+   my sends to [dst] ride my outbound connection, and everything [dst]
+   sends me — acks and heartbeat pongs included — rides its own outbound
+   connection back (every frame carries its source pid, so inbound
+   streams need no handshake). A SIGKILL-ed peer costs its
+   correspondents a dead connection, rebuilt by capped
+   exponential-backoff reconnect once the successor incarnation listens
+   again; in the interim, Data frames are dropped (a real in-flight
+   loss) and Control frames come back through the retransmit timer —
+   exactly the UDS mesh's lane semantics, so the protocol layer and the
+   soak scenarios cannot tell the fabrics apart.
+
+   Framing is a 4-byte big-endian length prefix over a marshalled frame.
+   Heartbeat pings flow on every live connection; a peer that stops
+   ponging for [hb_timeout] is declared down and its connection is torn
+   and rebuilt (failure detection under silent network death, where TCP
+   itself may take minutes to notice). Fault injection (seeded
+   drop/dup/jitter on Data, burst partitions below every frame) is
+   applied at the frame layer, mirroring {!Optimist_live.Livenet}. *)
+
+type 'a frame =
+  | Data_msg of { src : int; payload : 'a }
+  | Ctl_msg of { src : int; seq : int; payload : 'a }
+  | Ctl_ack of { seq : int }
+  | Hb_ping of { src : int; at : float }
+  | Hb_pong of { src : int; at : float }
+
+(* A frame larger than this is a corrupt stream, not a message. *)
+let max_frame = 1 lsl 24
+
+(* Bound on unflushed bytes per connection before sends start counting
+   as errors — backpressure against a peer that stops reading. *)
+let outbuf_cap = 1 lsl 22
+
+type conn = {
+  c_dst : int;
+  mutable c_fd : Unix.file_descr option;
+  mutable c_up : bool;  (** connect completed, stream writable *)
+  mutable c_ever_up : bool;  (** distinguishes connects from reconnects *)
+  mutable c_armed : bool;  (** writable callback registered *)
+  c_q : Bytes.t Queue.t;  (** unflushed chunks *)
+  mutable c_q_off : int;  (** write offset into the queue head *)
+  mutable c_q_bytes : int;
+  mutable c_backoff : float;
+  mutable c_next_attempt : float;  (** wall clock; 0 = due now *)
+  mutable c_last_seen : float;  (** wall clock of the last pong *)
+}
+
+type 'a t = {
+  loop : Loop.t;
+  me : int;
+  n : int;
+  endpoints : (string * int) array;
+  rng : Prng.t;
+  jitter_lo : float;
+  jitter_span : float;
+  retransmit_every : float;
+  hb_every : float;
+  hb_timeout : float;
+  faults : Livenet.faults;
+  scope : Metrics.Scope.t;
+  conns : conn array;  (** index = dst; [me]'s slot is never used *)
+  mutable listen_fd : Unix.file_descr option;
+  mutable inbound : Unix.file_descr list;  (** accepted connections *)
+  mutable handler : 'a -> unit;
+  mutable ctl_seq : int;
+  unacked : (int, int * Bytes.t) Hashtbl.t; (* seq -> (dst, encoded frame) *)
+  seen_ctl : (int * int, unit) Hashtbl.t; (* (src, seq) already delivered *)
+  mutable closed : bool;
+}
+
+let backoff_min = 0.05
+let backoff_max = 1.0
+
+let incr ?by t name = Metrics.Scope.incr ?by t.scope name
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found ->
+      failwith (Printf.sprintf "tcp link: cannot resolve host %S" host))
+
+let encode frame =
+  let body = Marshal.to_bytes frame [] in
+  let n = Bytes.length body in
+  let out = Bytes.create (4 + n) in
+  Bytes.set_int32_be out 0 (Int32.of_int n);
+  Bytes.blit body 0 out 4 n;
+  out
+
+(* Same gate as the UDS mesh: an active partition blocks frames crossing
+   the island boundary in either direction, heartbeats included (a
+   partitioned peer genuinely looks dead). *)
+let partitioned t ~dst =
+  t.faults.Livenet.partitions <> []
+  && begin
+       let now = Loop.now t.loop in
+       List.exists
+         (fun (p : Livenet.partition) ->
+           now >= p.pt_start && now < p.pt_stop
+           && List.mem t.me p.pt_island <> List.mem dst p.pt_island)
+         t.faults.Livenet.partitions
+     end
+
+let conn_down t conn =
+  (match conn.c_fd with
+  | None -> ()
+  | Some fd ->
+      Loop.remove_fd t.loop fd;
+      conn.c_armed <- false;
+      (try Unix.close fd with Unix.Unix_error _ -> ()));
+  conn.c_fd <- None;
+  conn.c_up <- false;
+  Queue.clear conn.c_q;
+  conn.c_q_off <- 0;
+  conn.c_q_bytes <- 0;
+  conn.c_next_attempt <- Unix.gettimeofday () +. conn.c_backoff;
+  conn.c_backoff <- Float.min (conn.c_backoff *. 2.0) backoff_max
+
+let rec flush t conn =
+  match conn.c_fd with
+  | None -> ()
+  | Some fd ->
+      if Queue.is_empty conn.c_q then begin
+        if conn.c_armed then begin
+          Loop.remove_writable t.loop fd;
+          conn.c_armed <- false
+        end
+      end
+      else begin
+        let head = Queue.peek conn.c_q in
+        let len = Bytes.length head - conn.c_q_off in
+        match Unix.write fd head conn.c_q_off len with
+        | n ->
+            conn.c_q_bytes <- conn.c_q_bytes - n;
+            if n = len then begin
+              ignore (Queue.pop conn.c_q);
+              conn.c_q_off <- 0;
+              flush t conn
+            end
+            else begin
+              conn.c_q_off <- conn.c_q_off + n;
+              arm t conn fd
+            end
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            arm t conn fd
+        | exception Unix.Unix_error _ -> conn_down t conn
+      end
+
+and arm t conn fd =
+  if not conn.c_armed then begin
+    conn.c_armed <- true;
+    Loop.on_writable t.loop fd (fun () -> flush t conn)
+  end
+
+(* Enqueue one encoded frame on [dst]'s outbound connection. Down or
+   clogged connections drop the frame (counted as a send error): that is
+   a Data frame's fate, and Control frames retry via the retransmit
+   timer — the TCP analogue of the datagram mesh's ECONNREFUSED path. *)
+let conn_send t ~dst bytes =
+  let conn = t.conns.(dst) in
+  if (not conn.c_up) || conn.c_q_bytes > outbuf_cap then
+    incr t "send_errors"
+  else begin
+    incr t "frames_sent";
+    incr ~by:(Bytes.length bytes) t "bytes_sent";
+    Queue.push bytes conn.c_q;
+    conn.c_q_bytes <- conn.c_q_bytes + Bytes.length bytes;
+    flush t conn
+  end
+
+let send_frame t ~dst frame =
+  if partitioned t ~dst then incr t "partition_blocked"
+  else conn_send t ~dst (encode frame)
+
+let dispatch t frame =
+  incr t "received";
+  match frame with
+  | Data_msg { src = _; payload } -> t.handler payload
+  | Ctl_msg { src; seq; payload } ->
+      (* Ack first (cheap, idempotent); deliver only the first copy. *)
+      send_frame t ~dst:src (Ctl_ack { seq });
+      if not (Hashtbl.mem t.seen_ctl (src, seq)) then begin
+        Hashtbl.replace t.seen_ctl (src, seq) ();
+        t.handler payload
+      end
+  | Ctl_ack { seq } -> Hashtbl.remove t.unacked seq
+  | Hb_ping { src; at } -> send_frame t ~dst:src (Hb_pong { src = t.me; at })
+  | Hb_pong { src; at } ->
+      let now = Unix.gettimeofday () in
+      if src >= 0 && src < t.n then t.conns.(src).c_last_seen <- now;
+      Metrics.Scope.observe_hist t.scope "hb_rtt_ms"
+        (Float.max 0.0 ((now -. at) *. 1000.0))
+
+(* Reassemble length-prefixed frames from a stream buffer. Both inbound
+   accepted connections and outbound connections read through this (a
+   peer only ever sends us frames on its own outbound connection, but an
+   EOF on ours is how we learn it died). *)
+let drain_frames t buf ~on_error =
+  let s = Buffer.contents buf in
+  let total = String.length s in
+  let pos = ref 0 in
+  let continue = ref true in
+  let bad = ref false in
+  while !continue do
+    if total - !pos < 4 then continue := false
+    else begin
+      let flen = Int32.to_int (String.get_int32_be s !pos) in
+      if flen <= 0 || flen > max_frame then begin
+        bad := true;
+        continue := false
+      end
+      else if total - !pos - 4 < flen then continue := false
+      else begin
+        incr t "frames_received";
+        (match (Marshal.from_string s (!pos + 4) : _ frame) with
+        | frame -> dispatch t frame
+        | exception _ -> ());
+        pos := !pos + 4 + flen
+      end
+    end
+  done;
+  if !bad then on_error ()
+  else begin
+    Buffer.clear buf;
+    Buffer.add_substring buf s !pos (total - !pos)
+  end
+
+(* Register a frame reader on [fd]. [on_close] runs on EOF, a read
+   error, or a corrupt stream. *)
+let add_reader t fd ~on_close =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  Loop.on_readable t.loop fd (fun () ->
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> on_close ()
+      | n ->
+          incr ~by:n t "bytes_received";
+          Buffer.add_subbytes buf chunk 0 n;
+          drain_frames t buf ~on_error:on_close
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error _ -> on_close ())
+
+let on_connected t conn fd =
+  conn.c_up <- true;
+  conn.c_backoff <- backoff_min;
+  conn.c_last_seen <- Unix.gettimeofday ();
+  if conn.c_ever_up then incr t "reconnects" else incr t "connects";
+  conn.c_ever_up <- true;
+  add_reader t fd ~on_close:(fun () -> conn_down t conn)
+
+(* Non-blocking connect: EINPROGRESS parks the socket in the writable
+   set; completion is judged by SO_ERROR. *)
+let attempt_connect t conn =
+  if (not t.closed) && conn.c_fd = None then begin
+    let host, port = t.endpoints.(conn.c_dst) in
+    match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error _ ->
+        conn.c_next_attempt <- Unix.gettimeofday () +. conn.c_backoff
+    | fd -> (
+        Unix.set_nonblock fd;
+        Unix.setsockopt fd Unix.TCP_NODELAY true;
+        conn.c_fd <- Some fd;
+        conn.c_up <- false;
+        match Unix.connect fd (Unix.ADDR_INET (resolve host, port)) with
+        | () -> on_connected t conn fd
+        | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _)
+          ->
+            Loop.on_writable t.loop fd (fun () ->
+                Loop.remove_writable t.loop fd;
+                if conn.c_fd = Some fd && not conn.c_up then
+                  match Unix.getsockopt_error fd with
+                  | None -> on_connected t conn fd
+                  | Some _ -> conn_down t conn)
+        | exception Unix.Unix_error _ -> conn_down t conn)
+  end
+
+(* Retry every due disconnected peer. Driven from the periodic tick and
+   from [ready]'s pump (loop timers idle until the run base passes, so
+   the pre-base connection barrier cannot rely on them). *)
+let reconnect_due t =
+  let now = Unix.gettimeofday () in
+  Array.iter
+    (fun conn ->
+      if
+        conn.c_dst <> t.me && conn.c_fd = None
+        && conn.c_next_attempt <= now
+      then attempt_connect t conn)
+    t.conns
+
+let heartbeat t =
+  let now = Unix.gettimeofday () in
+  Array.iter
+    (fun conn ->
+      if conn.c_dst <> t.me && conn.c_up then begin
+        if now -. conn.c_last_seen > t.hb_timeout then begin
+          (* Silence despite a live TCP stream: declare the peer down
+             and rebuild through the backoff path. *)
+          incr t "hb_timeouts";
+          conn_down t conn
+        end
+        else send_frame t ~dst:conn.c_dst (Hb_ping { src = t.me; at = now })
+      end)
+    t.conns
+
+let send t ~lane ~dst payload =
+  if not t.closed then
+    match lane with
+    | Transport.Data ->
+        incr t "sent_data";
+        if
+          t.faults.Livenet.drop_rate > 0.0
+          && Prng.bernoulli t.rng t.faults.Livenet.drop_rate
+        then incr t "faults_dropped"
+        else begin
+          let bytes = encode (Data_msg { src = t.me; payload }) in
+          (* Sender-side jitter, as in the UDS mesh: the frame hits the
+             stream a random delay late, so back-to-back sends to
+             different peers genuinely interleave. *)
+          let post () =
+            let delay = t.jitter_lo +. Prng.float t.rng t.jitter_span in
+            Loop.schedule t.loop ~delay (fun () ->
+                if not t.closed then
+                  if partitioned t ~dst then incr t "partition_blocked"
+                  else conn_send t ~dst bytes)
+          in
+          post ();
+          if
+            t.faults.Livenet.dup_rate > 0.0
+            && Prng.bernoulli t.rng t.faults.Livenet.dup_rate
+          then begin
+            incr t "faults_duplicated";
+            post ()
+          end
+        end
+    | Transport.Control ->
+        incr t "sent_control";
+        t.ctl_seq <- t.ctl_seq + 1;
+        let seq = t.ctl_seq in
+        let bytes = encode (Ctl_msg { src = t.me; seq; payload }) in
+        Hashtbl.replace t.unacked seq (dst, bytes);
+        if partitioned t ~dst then incr t "partition_blocked"
+        else conn_send t ~dst bytes
+
+let retransmit_pending t =
+  Hashtbl.iter
+    (fun _ (dst, bytes) ->
+      incr t "retransmits";
+      if partitioned t ~dst then incr t "partition_blocked"
+      else conn_send t ~dst bytes)
+    t.unacked
+
+let transport t =
+  {
+    Transport.send = (fun ~lane ~src:_ ~dst payload -> send t ~lane ~dst payload);
+    broadcast =
+      (fun ~lane ~src:_ payload ->
+        for dst = 0 to t.n - 1 do
+          if dst <> t.me then send t ~lane ~dst payload
+        done);
+    set_handler = (fun id f -> if id = t.me then t.handler <- f);
+    (* Crashes are real process deaths here; the fabric has no gate. *)
+    set_down = (fun _ -> ());
+    set_up = (fun ~drop_held_data:_ _ -> ());
+  }
+
+let listen t =
+  let _, port = t.endpoints.(t.me) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_any, port));
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  t.listen_fd <- Some fd;
+  Loop.on_readable t.loop fd (fun () ->
+      let continue = ref true in
+      while !continue do
+        match Unix.accept fd with
+        | cfd, _ ->
+            Unix.set_nonblock cfd;
+            Unix.setsockopt cfd Unix.TCP_NODELAY true;
+            incr t "accepted";
+            t.inbound <- cfd :: t.inbound;
+            add_reader t cfd ~on_close:(fun () ->
+                t.inbound <- List.filter (fun f -> f <> cfd) t.inbound;
+                Loop.remove_fd t.loop cfd;
+                try Unix.close cfd with Unix.Unix_error _ -> ())
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            continue := false
+        | exception Unix.Unix_error _ -> continue := false
+      done)
+
+let create ?(jitter = (0.001, 0.02)) ?(retransmit_every = 0.1)
+    ?(hb_every = 0.25) ?(hb_timeout = 3.0) ?(seq_base = 0)
+    ?(faults = Livenet.no_faults) ~loop ~endpoints ~me ~n ~seed () =
+  if Array.length endpoints <> n then
+    invalid_arg
+      (Printf.sprintf "tcp link: %d endpoints for %d workers"
+         (Array.length endpoints) n);
+  let jitter_lo, jitter_hi = jitter in
+  let t =
+    {
+      loop;
+      me;
+      n;
+      endpoints;
+      rng = Prng.create seed;
+      jitter_lo;
+      jitter_span = Float.max (jitter_hi -. jitter_lo) 1e-9;
+      retransmit_every;
+      hb_every;
+      hb_timeout;
+      faults;
+      scope = Metrics.Scope.create ~protocol:"tcp" ~process:me ();
+      conns =
+        Array.init n (fun dst ->
+            {
+              c_dst = dst;
+              c_fd = None;
+              c_up = false;
+              c_ever_up = false;
+              c_armed = false;
+              c_q = Queue.create ();
+              c_q_off = 0;
+              c_q_bytes = 0;
+              c_backoff = backoff_min;
+              c_next_attempt = 0.0;
+              c_last_seen = 0.0;
+            });
+      listen_fd = None;
+      inbound = [];
+      handler = (fun _ -> ());
+      ctl_seq = seq_base;
+      unacked = Hashtbl.create 64;
+      seen_ctl = Hashtbl.create 256;
+      closed = false;
+    }
+  in
+  listen t;
+  reconnect_due t;
+  let rec retry_loop () =
+    if not t.closed then begin
+      retransmit_pending t;
+      Loop.schedule loop ~delay:t.retransmit_every retry_loop
+    end
+  in
+  Loop.schedule loop ~delay:retransmit_every retry_loop;
+  let rec hb_loop () =
+    if not t.closed then begin
+      heartbeat t;
+      reconnect_due t;
+      Loop.schedule loop ~delay:t.hb_every hb_loop
+    end
+  in
+  Loop.schedule loop ~delay:hb_every hb_loop;
+  t
+
+let connected t =
+  Array.for_all (fun conn -> conn.c_dst = t.me || conn.c_up) t.conns
+
+(* Startup barrier: pump the loop (connect completions, accepts) until
+   every outbound connection is up. Wall-clock driven — the loop's own
+   clock may still be idling before the run base. *)
+let wait_connected t ~timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec wait () =
+    if connected t then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      reconnect_due t;
+      Loop.run_once t.loop ~max_wait:0.02;
+      wait ()
+    end
+  in
+  wait ()
+
+let unacked_count t = Hashtbl.length t.unacked
+
+let stats t = Metrics.Scope.counters t.scope
+
+let snapshot t = Metrics.Scope.snapshot_prefixed ~prefix:"link." t.scope
+
+let scope t = t.scope
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Array.iter
+      (fun conn ->
+        match conn.c_fd with
+        | None -> ()
+        | Some fd ->
+            Loop.remove_fd t.loop fd;
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            conn.c_fd <- None;
+            conn.c_up <- false)
+      t.conns;
+    (* Accepted inbound connections too: a process death would close
+       them for free, but an in-process teardown (tests, same-process
+       incarnation swaps) must not leave readers that keep consuming a
+       peer's frames — the peer would never see EOF and never reconnect
+       to the successor. *)
+    List.iter
+      (fun fd ->
+        Loop.remove_fd t.loop fd;
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      t.inbound;
+    t.inbound <- [];
+    match t.listen_fd with
+    | None -> ()
+    | Some fd ->
+        Loop.remove_fd t.loop fd;
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        t.listen_fd <- None
+  end
+
+let link t =
+  {
+    Link.transport = transport t;
+    ready = (fun ~timeout -> wait_connected t ~timeout);
+    unacked = (fun () -> unacked_count t);
+    stats = (fun () -> stats t);
+    snapshot = (fun () -> snapshot t);
+    close = (fun () -> close t);
+    kind = "tcp";
+  }
+
+(* Per-incarnation seed and control-sequence base derivation matches
+   {!Optimist_live.Livenet.factory}, so a scenario replays identically
+   over either fabric modulo wall-clock timing. *)
+let factory ?retransmit_every ?hb_every ?hb_timeout
+    ?(faults = Livenet.no_faults) ~endpoints ~n ~seed () =
+  {
+    Link.f_kind = "tcp";
+    make =
+      (fun ~loop ~me ~gen ~jitter ->
+        let seed = Int64.add seed (Int64.of_int (1 + me + (gen * n))) in
+        link
+          (create ~jitter ?retransmit_every ?hb_every ?hb_timeout
+             ~seq_base:(gen * 1_000_000)
+             ~faults ~loop ~endpoints ~me ~n ~seed ()));
+  }

@@ -1,0 +1,30 @@
+module Transport = Optimist_core.Transport
+
+(* The live network behind one first-class value: what a worker needs
+   from its fabric — a protocol-facing Transport, a startup barrier, and
+   the wire-level accounting the stats file and telemetry snapshots
+   consume. Livenet (Unix-domain datagrams) and the cluster's TCP mesh
+   are the two implementations; a worker never knows which one it got. *)
+
+type 'a t = {
+  transport : 'a Transport.t;
+  ready : timeout:float -> bool;
+  unacked : unit -> int;
+  stats : unit -> (string * int) list;
+  snapshot : unit -> (string * float) list;
+  close : unit -> unit;
+  kind : string;
+}
+
+(* The factory's [make] is universally quantified over the payload type:
+   each protocol branch of the worker instantiates the same fabric at
+   its own wire type, exactly as [Livenet.create] is called today. *)
+type factory = {
+  f_kind : string;
+  make :
+    'a.
+    loop:Loop.t -> me:int -> gen:int -> jitter:float * float -> 'a t;
+}
+
+let snapshot_of_stats stats =
+  List.map (fun (k, v) -> ("link." ^ k, float_of_int v)) stats

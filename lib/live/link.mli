@@ -1,0 +1,43 @@
+(** The live network as a first-class value.
+
+    A link is everything one worker needs from its message fabric: a
+    protocol-facing {!Optimist_core.Transport.t}, a gen-0 startup
+    barrier, and wire-level accounting. {!Livenet} (single-host
+    Unix-domain datagrams) and the cluster's TCP mesh are the two
+    implementations; workers select one through a {!factory} and are
+    otherwise oblivious to the transport underneath. *)
+
+module Transport = Optimist_core.Transport
+
+type 'a t = {
+  transport : 'a Transport.t;  (** the two-lane protocol fabric *)
+  ready : timeout:float -> bool;
+      (** block (pumping the loop or sleeping) until every peer is
+          reachable; [false] on timeout. The gen-0 startup barrier. *)
+  unacked : unit -> int;  (** control frames not yet acknowledged *)
+  stats : unit -> (string * int) list;
+      (** wire counters for the worker stats file ([sent_data],
+          [retransmits], [reconnects], ...) *)
+  snapshot : unit -> (string * float) list;
+      (** the same state as [link.]-prefixed floats — possibly with
+          quantiles of wire-level distributions (heartbeat RTT) — for
+          the schema-v3 [Snapshot] telemetry records *)
+  close : unit -> unit;
+  kind : string;  (** ["uds"] or ["tcp"] *)
+}
+
+type factory = {
+  f_kind : string;
+  make :
+    'a.
+    loop:Loop.t -> me:int -> gen:int -> jitter:float * float -> 'a t;
+      (** build this incarnation's link. [jitter] is passed at make time
+          (not baked into the factory) because the worker overrides it
+          per protocol (Strom-Yemini runs jitter-free). Implementations
+          derive the per-incarnation PRNG seed and control-sequence base
+          from [me] and [gen] exactly like {!Livenet.create}. *)
+}
+
+val snapshot_of_stats : (string * int) list -> (string * float) list
+(** Integer wire counters as ["link."]-prefixed floats — the default
+    {!t.snapshot} for implementations without float-valued metrics. *)

@@ -54,6 +54,22 @@ type 'a t = {
 
 let sock_path dir i = Filename.concat dir (Printf.sprintf "w%d.sock" i)
 
+(* The portable floor of [sizeof sun_path] (104 on the BSDs, 108 on
+   Linux), checked against the longest peer path so a long --dir fails
+   with one line instead of an opaque [Unix.bind] exception. *)
+let sun_path_max = 104
+
+let check_dir ~dir ~n =
+  let path = sock_path dir (max 0 (n - 1)) in
+  let len = String.length path in
+  if len >= sun_path_max then
+    Error
+      (Printf.sprintf
+         "socket path %s is %d bytes, over the AF_UNIX sun_path limit (%d) \
+          — use a shorter --dir"
+         path len sun_path_max)
+  else Ok ()
+
 let addr t dst = Unix.ADDR_UNIX (sock_path t.dir dst)
 
 (* An active partition blocks frames crossing the island boundary in
@@ -165,6 +181,7 @@ let retransmit_pending t =
 
 let create ?(jitter = (0.001, 0.02)) ?(retransmit_every = 0.1) ?(seq_base = 0)
     ?(faults = no_faults) ~loop ~dir ~me ~n ~seed () =
+  (match check_dir ~dir ~n with Ok () -> () | Error e -> invalid_arg e);
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_DGRAM 0 in
   let path = sock_path dir me in
   (try Unix.unlink path with Unix.Unix_error (Unix.ENOENT, _, _) -> ());
@@ -266,3 +283,29 @@ let close t =
     Loop.remove_fd t.loop t.fd;
     (try Unix.close t.fd with Unix.Unix_error _ -> ())
   end
+
+let link t =
+  {
+    Link.transport = transport t;
+    ready = (fun ~timeout -> wait_for_peers t ~timeout);
+    unacked = (fun () -> unacked_count t);
+    stats = (fun () -> stats t);
+    snapshot = (fun () -> Link.snapshot_of_stats (stats t));
+    close = (fun () -> close t);
+    kind = "uds";
+  }
+
+(* Per-incarnation seed and control-sequence base are derived here so a
+   factory-built mesh behaves bit-for-bit like the historical direct
+   [create] calls in the worker. *)
+let factory ?retransmit_every ?(faults = no_faults) ~dir ~n ~seed () =
+  {
+    Link.f_kind = "uds";
+    make =
+      (fun ~loop ~me ~gen ~jitter ->
+        let seed = Int64.add seed (Int64.of_int (1 + me + (gen * n))) in
+        link
+          (create ~jitter ?retransmit_every
+             ~seq_base:(gen * 1_000_000)
+             ~faults ~loop ~dir ~me ~n ~seed ()));
+  }

@@ -60,6 +60,14 @@ val create :
 val sock_path : string -> int -> string
 (** [sock_path dir i] is worker [i]'s socket path. *)
 
+val sun_path_max : int
+(** Portable floor of [sizeof sun_path] (104 bytes). *)
+
+val check_dir : dir:string -> n:int -> (unit, string) result
+(** One-line error if any of the [n] socket paths under [dir] would
+    overflow [sun_path]. {!create} enforces this with [Invalid_argument];
+    callers with a CLI surface should check first and report cleanly. *)
+
 val wait_for_peers : 'a t -> timeout:float -> bool
 (** Block (sleeping in small steps) until every peer socket file exists;
     [false] on timeout. Gen-0 startup barrier. *)
@@ -77,3 +85,19 @@ val stats : 'a t -> (string * int) list
 val close : 'a t -> unit
 (** Deregister from the loop and close the socket (the path is left for
     a successor incarnation to rebind). *)
+
+val link : 'a t -> 'a Link.t
+(** The mesh behind the transport-agnostic {!Link} interface. *)
+
+val factory :
+  ?retransmit_every:float ->
+  ?faults:faults ->
+  dir:string ->
+  n:int ->
+  seed:int64 ->
+  unit ->
+  Link.factory
+(** A {!Link.factory} for the UDS mesh. [seed] is the run seed; each
+    [make ~me ~gen] derives the per-incarnation PRNG seed
+    ([seed + 1 + me + gen*n]) and control-sequence base
+    ([gen * 1_000_000]) exactly as the live worker historically did. *)

@@ -9,12 +9,22 @@ type t = {
   mutable timers : timer list; (* sorted by (t_at, t_seq) *)
   mutable seq : int;
   mutable fds : (Unix.file_descr * (unit -> unit)) list;
+  mutable wfds : (Unix.file_descr * (unit -> unit)) list;
   mutable stopped : bool;
   tracer : Trace.t;
 }
 
 let create ?(tracer = Trace.null) ~base () =
-  { base; last = 0.0; timers = []; seq = 0; fds = []; stopped = false; tracer }
+  {
+    base;
+    last = 0.0;
+    timers = [];
+    seq = 0;
+    fds = [];
+    wfds = [];
+    stopped = false;
+    tracer;
+  }
 
 (* Wall clock relative to [base], clamped non-decreasing so per-process
    trace timestamps are monotone even if the system clock steps back. *)
@@ -36,7 +46,13 @@ let schedule t ~delay action =
 
 let on_readable t fd cb = t.fds <- (fd, cb) :: t.fds
 
-let remove_fd t fd = t.fds <- List.filter (fun (f, _) -> f <> fd) t.fds
+let on_writable t fd cb = t.wfds <- (fd, cb) :: t.wfds
+
+let remove_writable t fd = t.wfds <- List.filter (fun (f, _) -> f <> fd) t.wfds
+
+let remove_fd t fd =
+  t.fds <- List.filter (fun (f, _) -> f <> fd) t.fds;
+  remove_writable t fd
 
 let stop t = t.stopped <- true
 
@@ -53,17 +69,47 @@ let runtime t =
     tracer = (fun () -> t.tracer);
   }
 
+let fire_due t =
+  let rec fire () =
+    match t.timers with
+    | tm :: rest when tm.t_at <= now t ->
+        t.timers <- rest;
+        tm.t_run ();
+        fire ()
+    | _ -> ()
+  in
+  fire ()
+
+let select_once t ~timeout =
+  match
+    Unix.select (List.map fst t.fds) (List.map fst t.wfds) [] timeout
+  with
+  | ready, writable, _ ->
+      List.iter
+        (fun fd ->
+          match List.assoc_opt fd t.fds with Some cb -> cb () | None -> ())
+        ready;
+      List.iter
+        (fun fd ->
+          match List.assoc_opt fd t.wfds with Some cb -> cb () | None -> ())
+        writable
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+let run_once t ~max_wait =
+  fire_due t;
+  if not t.stopped then begin
+    let next_timer =
+      match t.timers with [] -> infinity | tm :: _ -> tm.t_at
+    in
+    let timeout =
+      Float.max 0.0 (Float.min max_wait (next_timer -. now t))
+    in
+    select_once t ~timeout
+  end
+
 let run t ~until =
   while (not t.stopped) && now t < until do
-    let rec fire () =
-      match t.timers with
-      | tm :: rest when tm.t_at <= now t ->
-          t.timers <- rest;
-          tm.t_run ();
-          fire ()
-      | _ -> ()
-    in
-    fire ();
+    fire_due t;
     if (not t.stopped) && now t < until then begin
       let next_timer =
         match t.timers with [] -> infinity | tm :: _ -> tm.t_at
@@ -73,14 +119,6 @@ let run t ~until =
           (Float.min (until -. now t)
              (Float.min 0.05 (next_timer -. now t)))
       in
-      match Unix.select (List.map fst t.fds) [] [] timeout with
-      | ready, _, _ ->
-          List.iter
-            (fun fd ->
-              match List.assoc_opt fd t.fds with
-              | Some cb -> cb ()
-              | None -> ())
-            ready
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      select_once t ~timeout
     end
   done

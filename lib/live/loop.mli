@@ -26,11 +26,28 @@ val schedule : t -> delay:float -> (unit -> unit) -> unit
 val on_readable : t -> Unix.file_descr -> (unit -> unit) -> unit
 (** Register a callback run whenever [fd] selects readable. *)
 
+val on_writable : t -> Unix.file_descr -> (unit -> unit) -> unit
+(** Register a callback run whenever [fd] selects writable — used by the
+    TCP link for non-blocking connect completion and buffered flushes.
+    Writability fires continuously on an idle connected socket, so
+    callbacks must deregister themselves ({!remove_writable}) once their
+    work is done. *)
+
+val remove_writable : t -> Unix.file_descr -> unit
+
 val remove_fd : t -> Unix.file_descr -> unit
+(** Drop [fd] from both the readable and writable sets. *)
 
 val run : t -> until:float -> unit
 (** Fire due timers and pump readiness until [now t >= until] or {!stop}.
     Timers still pending at the deadline are dropped. *)
+
+val run_once : t -> max_wait:float -> unit
+(** One loop iteration: fire due timers, then select for at most
+    [max_wait] seconds. For pumping the loop from a caller with its own
+    termination condition (the TCP link's connection barrier) — unlike
+    {!run} it never blocks past [max_wait] even when the loop clock is
+    idling before the run's base instant. *)
 
 val stop : t -> unit
 

@@ -28,6 +28,7 @@ type cfg = {
   restart_delay : float;
   jitter : float * float;
   telemetry : Worker.telemetry;
+  link : Link.factory option;  (** [None] = the UDS mesh under [dir] *)
 }
 
 let default_cfg =
@@ -46,6 +47,7 @@ let default_cfg =
     restart_delay = 0.3;
     jitter = (0.001, 0.02);
     telemetry = Worker.Full;
+    link = None;
   }
 
 type result = {
@@ -64,6 +66,14 @@ let run_file dir = Filename.concat dir "run.json"
 let validate cfg =
   let fail fmt = Printf.ksprintf invalid_arg fmt in
   if cfg.n < 2 then fail "n must be at least 2 (got %d)" cfg.n;
+  (* Catch an over-long --dir here, before any worker hits the opaque
+     [Unix.bind] EINVAL/ENAMETOOLONG deep inside its fork. *)
+  (match cfg.link with
+  | Some _ -> () (* non-UDS fabric: no socket paths under [dir] *)
+  | None -> (
+      match Livenet.check_dir ~dir:cfg.dir ~n:cfg.n with
+      | Ok () -> ()
+      | Error e -> fail "%s" e));
   if cfg.duration <= 0.0 then fail "duration must be positive";
   if cfg.settle < 0.0 then fail "settle must be non-negative";
   if cfg.rate <= 0.0 then fail "rate must be positive";
@@ -131,6 +141,7 @@ let spawn cfg ~base ~pid ~gen =
       jitter = cfg.jitter;
       faults = cfg.net_faults;
       telemetry = cfg.telemetry;
+      link = cfg.link;
     }
   in
   match Unix.fork () with
@@ -147,28 +158,39 @@ let kill_hard ospid =
   try Unix.kill ospid Sys.sigkill
   with Unix.Unix_error (Unix.ESRCH, _, _) -> ()
 
-let run cfg =
-  validate cfg;
-  clean_dir cfg;
-  let base = Unix.gettimeofday () in
+type sv_result = {
+  sv_crashes : int;
+  sv_clean_exits : int;
+  sv_gens : (int * int) list;  (** (pid, final generation) *)
+}
+
+(* The supervision loop over an explicit pid subset: a single-host run
+   supervises all n workers; a cluster agent supervises only its local
+   block against a coordinator-chosen [base], with the fault schedule
+   filtered down to the pids it hosts. [base] may lie in the future
+   (coordinated multi-host start): workers' loop clocks idle at 0 until
+   it passes, and the deadline below is measured from it. *)
+let supervise cfg ~base ~workers =
   let now () = Unix.gettimeofday () -. base in
   let deadline = cfg.duration +. cfg.settle in
   (* os pid -> worker index, for reaping *)
   let children = Hashtbl.create 16 in
-  let gens = Array.make cfg.n 0 in
-  let alive = Array.make cfg.n false in
+  let gens = Hashtbl.create 16 in
+  let alive = Hashtbl.create 16 in
   let clean_exits = ref 0 in
   let crashes = ref 0 in
   let start ~pid ~gen =
     let child = spawn cfg ~base ~pid ~gen in
     Hashtbl.replace children child pid;
-    gens.(pid) <- gen;
-    alive.(pid) <- true
+    Hashtbl.replace gens pid gen;
+    Hashtbl.replace alive pid true
   in
-  for pid = 0 to cfg.n - 1 do
-    start ~pid ~gen:0
-  done;
-  let kills = ref (List.sort compare cfg.faults) in
+  List.iter (fun pid -> start ~pid ~gen:0) workers;
+  let kills =
+    ref
+      (List.sort compare
+         (List.filter (fun (_, pid) -> List.mem pid workers) cfg.faults))
+  in
   let respawns = ref [] (* (at, pid), unsorted — scanned each tick *) in
   let reap ~blocking =
     let flags = if blocking then [] else [ Unix.WNOHANG ] in
@@ -179,7 +201,7 @@ let run cfg =
       | child, status ->
           (match Hashtbl.find_opt children child with
           | Some pid ->
-              alive.(pid) <- false;
+              Hashtbl.replace alive pid false;
               if status = Unix.WEXITED 0 then incr clean_exits
           | None -> ());
           Hashtbl.remove children child;
@@ -195,7 +217,7 @@ let run cfg =
     (match !kills with
     | (at, pid) :: rest when at <= t ->
         kills := rest;
-        if alive.(pid) then begin
+        if Hashtbl.find_opt alive pid = Some true then begin
           let ospid, _ =
             Hashtbl.fold
               (fun os p acc -> if p = pid then (os, p) else acc)
@@ -212,7 +234,9 @@ let run cfg =
     | _ -> ());
     let due, later = List.partition (fun (at, _) -> at <= t) !respawns in
     respawns := later;
-    List.iter (fun (_, pid) -> start ~pid ~gen:(gens.(pid) + 1)) due;
+    List.iter
+      (fun (_, pid) -> start ~pid ~gen:(Hashtbl.find gens pid + 1))
+      due;
     reap ~blocking:false;
     Unix.sleepf 0.005
   done;
@@ -227,6 +251,24 @@ let run cfg =
   while Hashtbl.length children > 0 do
     reap ~blocking:true
   done;
+  {
+    sv_crashes = !crashes;
+    sv_clean_exits = !clean_exits;
+    sv_gens =
+      List.map (fun pid -> (pid, Hashtbl.find gens pid)) workers;
+  }
+
+let run cfg =
+  validate cfg;
+  clean_dir cfg;
+  let base = Unix.gettimeofday () in
+  let sv =
+    supervise cfg ~base ~workers:(List.init cfg.n (fun pid -> pid))
+  in
+  let crashes = ref sv.sv_crashes in
+  let clean_exits = ref sv.sv_clean_exits in
+  let gens = Array.make cfg.n 0 in
+  List.iter (fun (pid, g) -> gens.(pid) <- g) sv.sv_gens;
   let events, dropped = Merge.run ~dir:cfg.dir ~out:(merged_file cfg.dir) in
   ignore
     (Merge.chrome ~src:(merged_file cfg.dir) ~out:(chrome_file cfg.dir));

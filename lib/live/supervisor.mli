@@ -29,6 +29,10 @@ type cfg = {
   restart_delay : float;  (** crash-to-respawn delay, seconds *)
   jitter : float * float;
   telemetry : Worker.telemetry;  (** passed to every worker *)
+  link : Link.factory option;
+      (** [None] = the classic UDS mesh under [dir]; [Some f] = an
+          alternative fabric (the cluster's TCP link) given to every
+          worker *)
 }
 
 val default_cfg : cfg
@@ -51,8 +55,26 @@ val run_file : string -> string
 val validate : cfg -> unit
 (** Raises [Invalid_argument] with a one-line message on nonsense
     parameters (n < 2, non-positive durations/rates, fault pid or time
-    out of range, drop/dup rates outside [0, 1), malformed
-    partitions). *)
+    out of range, drop/dup rates outside [0, 1), malformed partitions,
+    a [dir] whose socket paths would overflow [sun_path]). *)
+
+val clean_dir : cfg -> unit
+(** Create [dir] if needed and clear the previous run's artifacts
+    (sockets, traces, stores, reports) so a reused directory cannot mix
+    two runs' traces. *)
+
+type sv_result = {
+  sv_crashes : int;
+  sv_clean_exits : int;
+  sv_gens : (int * int) list;  (** (pid, final generation) *)
+}
+
+val supervise : cfg -> base:float -> workers:int list -> sv_result
+(** The fork/SIGKILL/respawn/reap loop over an explicit pid subset —
+    the piece a cluster agent reuses for its local block. [base] is the
+    run's shared time origin and may lie in the future (coordinated
+    multi-host start); the fault schedule is filtered to [workers].
+    Does not validate, clean the directory, or merge traces. *)
 
 val run : cfg -> result
 (** Blocks for [duration + settle] seconds plus shutdown grace. *)

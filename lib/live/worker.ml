@@ -73,6 +73,10 @@ type cfg = {
   jitter : float * float;
   faults : Livenet.faults;
   telemetry : telemetry;
+  link : Link.factory option;
+      (** [None] = the classic single-host UDS mesh built from [dir],
+          [faults] and [seed]; [Some f] = an alternative fabric (the
+          cluster's TCP link). *)
 }
 
 type outcome = {
@@ -652,31 +656,50 @@ let run_koo cfg loop sctx net store =
     epoch = Store.load_gen store;
   }
 
-(* Each protocol branch builds its own Livenet so the transport's payload
+(* Wire-level telemetry rides the same Snapshot machinery as protocol
+   metrics, in separate link.*-valued records: the recovery profiler
+   keys on "delivered"/"recovery.*" and ignores them, while the bench
+   and dashboards get per-link byte/frame/reconnect series for free. *)
+let schedule_link_snapshots cfg loop (link : _ Link.t) =
+  if Trace.enabled (Loop.tracer loop) then begin
+    let rec tick () =
+      emit_snapshot cfg loop ~ver:cfg.gen
+        (("gen", float_of_int cfg.gen) :: link.Link.snapshot ());
+      Loop.schedule loop ~delay:snapshot_period tick
+    in
+    Loop.schedule loop ~delay:snapshot_period tick
+  end
+
+(* Each protocol branch builds its own link so the transport's payload
    type is fixed per branch (DG and the pessimistic baseline have
    different wire types). *)
 let with_net cfg loop run =
-  let worker_seed =
-    Int64.add cfg.seed (Int64.of_int (1 + cfg.me + (cfg.gen * cfg.n)))
+  let factory =
+    match cfg.link with
+    | Some f -> f
+    | None ->
+        Livenet.factory ~faults:cfg.faults ~dir:cfg.dir ~n:cfg.n
+          ~seed:cfg.seed ()
   in
-  let net =
-    Livenet.create ~jitter:cfg.jitter
-      ~seq_base:(cfg.gen * 1_000_000)
-      ~faults:cfg.faults ~loop ~dir:cfg.dir ~me:cfg.me ~n:cfg.n
-      ~seed:worker_seed ()
+  let link =
+    factory.Link.make ~loop ~me:cfg.me ~gen:cfg.gen ~jitter:cfg.jitter
   in
-  (* Gen 0 waits for the whole mesh to bind before the protocol starts
-     talking; restarted incarnations find every socket already present. *)
-  if not (Livenet.wait_for_peers net ~timeout:10.0) then (
+  (* Gen 0 waits for the whole mesh to come up before the protocol starts
+     talking; restarted incarnations find every peer already present. *)
+  if not (link.Link.ready ~timeout:10.0) then (
     prerr_endline
       (Printf.sprintf "worker %d: peers did not appear within 10s" cfg.me);
     exit 1);
   let store = Store.open_ (store_dir ~dir:cfg.dir ~me:cfg.me) in
-  let outcome = run (Livenet.transport net) store in
-  write_stats cfg ~net_stats:(Livenet.stats net)
+  schedule_link_snapshots cfg loop link;
+  let outcome = run link.Link.transport store in
+  emit_snapshot cfg loop ~ver:cfg.gen
+    (("gen", float_of_int cfg.gen) :: link.Link.snapshot ());
+  write_stats cfg
+    ~net_stats:(link.Link.stats ())
     ~store_stats:(Store.stats store) outcome;
   Store.close store;
-  Livenet.close net
+  link.Link.close ()
 
 let main cfg =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;

@@ -57,6 +57,10 @@ type cfg = {
   jitter : float * float;  (** Data-lane send-delay range, seconds *)
   faults : Livenet.faults;  (** seeded network-fault plan *)
   telemetry : telemetry;
+  link : Link.factory option;
+      (** [None] = the classic single-host UDS mesh built from [dir],
+          [faults] and [seed]; [Some f] = an alternative fabric (the
+          cluster's TCP link) *)
 }
 
 val trace_file : dir:string -> me:int -> gen:int -> string

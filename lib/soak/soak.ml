@@ -81,6 +81,7 @@ let supervisor_cfg ~dir (s : Scenario.t) =
           restart_delay = s.sc_restart_delay;
           jitter = Supervisor.default_cfg.Supervisor.jitter;
           telemetry = Worker.Full;
+          link = None;
         }
 
 let count_by_rule violations =
@@ -93,37 +94,43 @@ let count_by_rule violations =
   Hashtbl.fold (fun id n acc -> (id, n) :: acc) tbl []
   |> List.sort compare
 
+(* Judge a finished run: lint the merged trace against the protocol's
+   declared rules and cross-check the crash count. Shared by the
+   single-host runner below and the cluster runner, which produces the
+   same (crashes, events, merged) triple from remote agents. *)
+let assess ~crashes ~events ~merged (s : Scenario.t) =
+  let rules =
+    match Worker.protocol_of_string s.Scenario.sc_protocol with
+    | Some p -> Worker.live_check_rules p
+    | None -> []
+  in
+  match Check.Lint.run ~only:rules merged with
+  | Error msg -> Error msg
+  | Ok lint ->
+      Ok
+        {
+          rr_crashes = crashes;
+          rr_events = events;
+          rr_violations = count_by_rule lint.Check.Lint.violations;
+          rr_oracle = oracle_check ~crashes merged;
+          rr_merged = merged;
+        }
+
 let run_scenario ~dir (s : Scenario.t) =
   match supervisor_cfg ~dir s with
   | Error _ as e -> e
   | Ok cfg -> (
       match Supervisor.run cfg with
       | exception Invalid_argument msg -> Error msg
-      | r -> (
-          let rules =
-            match Worker.protocol_of_string s.sc_protocol with
-            | Some p -> Worker.live_check_rules p
-            | None -> []
-          in
-          match Check.Lint.run ~only:rules r.Supervisor.merged with
-          | Error msg -> Error msg
-          | Ok lint ->
-              Ok
-                {
-                  rr_crashes = r.Supervisor.crashes;
-                  rr_events = r.Supervisor.events;
-                  rr_violations = count_by_rule lint.Check.Lint.violations;
-                  rr_oracle =
-                    oracle_check ~crashes:r.Supervisor.crashes
-                      r.Supervisor.merged;
-                  rr_merged = r.Supervisor.merged;
-                }))
+      | r ->
+          assess ~crashes:r.Supervisor.crashes ~events:r.Supervisor.events
+            ~merged:r.Supervisor.merged s)
 
 (* Greedy shrink descent: re-run each strict simplification; the first
    one that still fails becomes the new current scenario. Every live run
    costs wall-clock seconds, so the descent is budgeted in runs, not
    candidates. *)
-let shrink ~dir ~budget s =
+let shrink ?(runner = run_scenario) ~dir ~budget s =
   let runs = ref 0 in
   let rec go current =
     let rec try_candidates = function
@@ -132,7 +139,7 @@ let shrink ~dir ~budget s =
           if !runs >= budget then current
           else begin
             incr runs;
-            match run_scenario ~dir c with
+            match runner ~dir c with
             | Ok r when failed r -> go c
             | Ok _ | Error _ -> try_candidates rest
           end
@@ -297,7 +304,8 @@ let write_campaign ~out summary =
           output_char oc '\n'
       | None -> ())
 
-let run_campaign ?(shrink_budget = 12) ?(log = fun _ -> ()) ~out ~plan () =
+let run_campaign ?(runner = run_scenario) ?(shrink_budget = 12)
+    ?(log = fun _ -> ()) ~out ~plan () =
   if not (Sys.file_exists out) then Unix.mkdir out 0o755;
   let outcomes =
     List.map
@@ -308,7 +316,7 @@ let run_campaign ?(shrink_budget = 12) ?(log = fun _ -> ()) ~out ~plan () =
              s.sc_index s.sc_protocol s.sc_n (List.length s.sc_kills)
              s.sc_drop s.sc_dup
              (if s.sc_partitions <> [] then " partition" else ""));
-        let result = run_scenario ~dir s in
+        let result = runner ~dir s in
         let minimal =
           match result with
           | Ok r when failed r ->
@@ -323,14 +331,14 @@ let run_campaign ?(shrink_budget = 12) ?(log = fun _ -> ()) ~out ~plan () =
                             (fun (id, n) -> Printf.sprintf "%s x%d" id n)
                             r.rr_violations)));
               let m =
-                shrink
+                shrink ~runner
                   ~dir:(Filename.concat out "shrink")
                   ~budget:shrink_budget s
               in
               (* Re-run the minimal scenario in its own directory so the
                  kept artifacts (merged trace, run.json) match it. *)
               let mdir = Filename.concat out (Printf.sprintf "minimal.%d" s.sc_index) in
-              ignore (run_scenario ~dir:mdir m);
+              ignore (runner ~dir:mdir m);
               let path = minimal_file out s.sc_index in
               let oc = open_out path in
               output_string oc (Json.to_string (Scenario.to_json m));

@@ -20,18 +20,34 @@ type run_result = {
 val failed : run_result -> bool
 (** Any lint violation or oracle mismatch. *)
 
+val assess :
+  crashes:int ->
+  events:int ->
+  merged:string ->
+  Scenario.t ->
+  (run_result, string) result
+(** Judge a finished run: lint [merged] against the scenario protocol's
+    {!Optimist_live.Worker.live_check_rules} and oracle-check the crash
+    count. Shared by {!run_scenario} and alternative runners (the
+    cluster's multi-host runner) that produce the same triple. *)
+
 val run_scenario : dir:string -> Scenario.t -> (run_result, string) result
 (** One live run of the scenario in [dir] (cleared first), linted
     against {!Optimist_live.Worker.live_check_rules} for its protocol.
     [Error] when the scenario cannot run at all (unknown protocol,
     invalid parameters, unreadable trace) — never for violations. *)
 
-val shrink : dir:string -> budget:int -> Scenario.t -> Scenario.t
+val shrink :
+  ?runner:(dir:string -> Scenario.t -> (run_result, string) result) ->
+  dir:string ->
+  budget:int ->
+  Scenario.t ->
+  Scenario.t
 (** Greedy descent over {!Scenario.shrink_candidates}: re-run each
     strict simplification (at most [budget] live runs total) and keep
     descending while the failure reproduces. Returns the smallest
     scenario that still failed — the input itself when nothing simpler
-    does. *)
+    does. [runner] (default {!run_scenario}) executes each candidate. *)
 
 type outcome = {
   oc_scenario : Scenario.t;
@@ -65,6 +81,7 @@ val minimal_file : string -> int -> string
 (** The minimal-reproducer artifact for a scenario index. *)
 
 val run_campaign :
+  ?runner:(dir:string -> Scenario.t -> (run_result, string) result) ->
   ?shrink_budget:int ->
   ?log:(string -> unit) ->
   out:string ->
@@ -75,4 +92,6 @@ val run_campaign :
     scenarios are shrunk (default budget 12 runs each), the minimal
     scenario is re-run in [out/minimal.<i>] and written to
     [out/minimal.<i>.json], and [out/campaign.jsonl] is written last.
-    [log] receives one-line progress messages. *)
+    [log] receives one-line progress messages. [runner] (default
+    {!run_scenario}, the single-host live runtime) executes each
+    scenario — the cluster runner substitutes its multi-host variant. *)

@@ -32,6 +32,25 @@ let probability s =
       Error (Printf.sprintf "must be a probability in [0, 1] (got %g)" v)
   | Ok v -> Ok v
 
+let port s =
+  match int_of_string_opt s with
+  | None -> Error (Printf.sprintf "expected a port number, got %S" s)
+  | Some p when p < 1 || p > 65535 ->
+      Error (Printf.sprintf "port must be in 1..65535 (got %d)" p)
+  | Some p -> Ok p
+
+let host_port s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "expected HOST:PORT, got %S" s)
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+      if host = "" then Error (Printf.sprintf "expected HOST:PORT, got %S" s)
+      else
+        match port port_s with
+        | Ok p -> Ok (host, p)
+        | Error e -> Error e)
+
 let fault s =
   match String.index_opt s ':' with
   | None -> Error (Printf.sprintf "expected SECONDS:PID, got %S" s)

@@ -19,6 +19,14 @@ val non_negative_float : string -> (float, string) result
 val probability : string -> (float, string) result
 (** A finite float in [0, 1]. *)
 
+val port : string -> (int, string) result
+(** A TCP port number in 1..65535. *)
+
+val host_port : string -> (string * int, string) result
+(** A ["HOST:PORT"] endpoint: non-empty host, valid port. The split is
+    on the last [':'] so a numeric IPv6 host still parses if given as
+    the whole prefix. *)
+
 val fault : string -> (float * int, string) result
 (** A ["SECONDS:PID"] crash point: positive finite time, non-negative
     pid. Range checks against the run's [n] and duration happen later,

@@ -1,0 +1,289 @@
+(* Tests of the cluster subsystem: the TCP mesh link (framing, both
+   lanes, reconnection, backoff to a late peer), the coordinator's pid
+   partitioning, the agent protocol plumbing, and one end-to-end
+   two-agent localhost cluster run with a real SIGKILL. *)
+
+module Loop = Optimist_live.Loop
+module Tcplink = Optimist_cluster.Tcplink
+module Coordinator = Optimist_cluster.Coordinator
+module Worker = Optimist_live.Worker
+module Transport = Optimist_core.Transport
+module Trace = Optimist_obs.Trace
+module Check = Optimist_check.Check
+module Validate = Optimist_util.Validate
+
+let tmp_counter = ref 0
+
+let temp_dir () =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "optclu-%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+(* Distinct port ranges per test so parallel alcotest runs and TIME_WAIT
+   leftovers cannot collide. Derived from the test process's pid to
+   survive repeated invocations on one machine. *)
+let port_base =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    20000 + ((Unix.getpid () * 13 + !counter * 101) mod 20000)
+
+let endpoints base n = Array.init n (fun i -> ("127.0.0.1", base + i))
+
+let make_pair ?faults_a ?(retransmit_every = 0.05) loop base =
+  let eps = endpoints base 2 in
+  let a =
+    Tcplink.create ?faults:faults_a ~retransmit_every ~loop ~endpoints:eps
+      ~me:0 ~n:2 ~seed:31L ()
+  in
+  let b =
+    Tcplink.create ~retransmit_every ~loop ~endpoints:eps ~me:1 ~n:2
+      ~seed:32L ()
+  in
+  (a, b)
+
+let test_tcp_data_and_control () =
+  let loop = Loop.create ~base:(Unix.gettimeofday ()) () in
+  let a, b = make_pair loop (port_base ()) in
+  Alcotest.(check bool) "mesh connects" true
+    (Tcplink.wait_connected a ~timeout:5.0
+    && Tcplink.wait_connected b ~timeout:5.0);
+  let got = ref [] in
+  (Tcplink.transport b).Transport.set_handler 1 (fun m -> got := m :: !got);
+  (Tcplink.transport a).Transport.set_handler 0 (fun _ -> ());
+  (Tcplink.transport a).Transport.send ~lane:Transport.Data ~src:0 ~dst:1
+    "data";
+  (Tcplink.transport a).Transport.send ~lane:Transport.Control ~src:0 ~dst:1
+    "ctl";
+  Loop.run loop ~until:0.4;
+  Alcotest.(check (list string)) "both lanes delivered" [ "ctl"; "data" ]
+    (List.sort compare !got);
+  Alcotest.(check int) "control acked" 0 (Tcplink.unacked_count a);
+  Tcplink.close a;
+  Tcplink.close b
+
+let test_tcp_control_reaches_late_peer () =
+  (* Control sent before the peer has even bound its port: the sender
+     backs off, reconnects once the listener appears, and the retransmit
+     timer delivers the frame exactly once. *)
+  let loop = Loop.create ~base:(Unix.gettimeofday ()) () in
+  let base = port_base () in
+  let eps = endpoints base 2 in
+  let a =
+    Tcplink.create ~retransmit_every:0.05 ~loop ~endpoints:eps ~me:0 ~n:2
+      ~seed:33L ()
+  in
+  (Tcplink.transport a).Transport.set_handler 0 (fun _ -> ());
+  (Tcplink.transport a).Transport.send ~lane:Transport.Control ~src:0 ~dst:1
+    "tok";
+  Loop.run loop ~until:0.15;
+  Alcotest.(check int) "still unacked" 1 (Tcplink.unacked_count a);
+  let b =
+    Tcplink.create ~retransmit_every:0.05 ~loop ~endpoints:eps ~me:1 ~n:2
+      ~seed:34L ()
+  in
+  let got = ref [] in
+  (Tcplink.transport b).Transport.set_handler 1 (fun m -> got := m :: !got);
+  Alcotest.(check bool) "late peer reachable" true
+    (Tcplink.wait_connected a ~timeout:5.0);
+  Loop.run loop ~until:1.0;
+  Alcotest.(check (list string)) "delivered exactly once" [ "tok" ] !got;
+  Alcotest.(check int) "acked after retry" 0 (Tcplink.unacked_count a);
+  Tcplink.close a;
+  Tcplink.close b
+
+let test_tcp_reconnects_after_peer_restart () =
+  (* Tear the receiving end down mid-conversation and bring a new
+     incarnation up on the same port: the sender's failure detector must
+     rebuild the connection (visible as reconnects > 0) and control
+     traffic queued across the outage must arrive exactly once. *)
+  let loop = Loop.create ~base:(Unix.gettimeofday ()) () in
+  let base = port_base () in
+  let eps = endpoints base 2 in
+  let a =
+    Tcplink.create ~retransmit_every:0.05 ~loop ~endpoints:eps ~me:0 ~n:2
+      ~seed:35L ()
+  in
+  let b =
+    Tcplink.create ~retransmit_every:0.05 ~loop ~endpoints:eps ~me:1 ~n:2
+      ~seed:36L ()
+  in
+  (Tcplink.transport a).Transport.set_handler 0 (fun _ -> ());
+  let got = ref [] in
+  (Tcplink.transport b).Transport.set_handler 1 (fun m -> got := m :: !got);
+  Alcotest.(check bool) "initial mesh up" true
+    (Tcplink.wait_connected a ~timeout:5.0);
+  (Tcplink.transport a).Transport.send ~lane:Transport.Control ~src:0 ~dst:1
+    "before";
+  Loop.run loop ~until:0.3;
+  Alcotest.(check (list string)) "first frame arrives" [ "before" ] !got;
+  Tcplink.close b;
+  (* Queued while the peer is dead: a real outage, not a quiet queue. *)
+  (Tcplink.transport a).Transport.send ~lane:Transport.Control ~src:0 ~dst:1
+    "during";
+  Loop.run loop ~until:0.6;
+  let b' =
+    Tcplink.create ~retransmit_every:0.05 ~seq_base:1_000_000 ~loop
+      ~endpoints:eps ~me:1 ~n:2 ~seed:37L ()
+  in
+  let got' = ref [] in
+  (Tcplink.transport b').Transport.set_handler 1 (fun m -> got' := m :: !got');
+  Alcotest.(check bool) "mesh heals" true
+    (Tcplink.wait_connected a ~timeout:5.0);
+  Loop.run loop ~until:1.5;
+  Alcotest.(check (list string)) "outage-spanning control arrives once"
+    [ "during" ] !got';
+  Alcotest.(check int) "nothing left unacked" 0 (Tcplink.unacked_count a);
+  Alcotest.(check bool) "reconnect counted" true
+    (List.assoc "reconnects" (Tcplink.stats a) > 0);
+  Tcplink.close a;
+  Tcplink.close b'
+
+let test_tcp_large_frame () =
+  (* A payload far bigger than any single read(2) must reassemble
+     through the length-prefixed framing. *)
+  let loop = Loop.create ~base:(Unix.gettimeofday ()) () in
+  let a, b = make_pair loop (port_base ()) in
+  Alcotest.(check bool) "mesh connects" true
+    (Tcplink.wait_connected a ~timeout:5.0);
+  let payload = String.init 300_000 (fun i -> Char.chr (i mod 251)) in
+  let got = ref None in
+  (Tcplink.transport b).Transport.set_handler 1 (fun m -> got := Some m);
+  (Tcplink.transport a).Transport.set_handler 0 (fun _ -> ());
+  (Tcplink.transport a).Transport.send ~lane:Transport.Control ~src:0 ~dst:1
+    payload;
+  Loop.run loop ~until:0.6;
+  (match !got with
+  | Some m -> Alcotest.(check bool) "payload intact" true (String.equal m payload)
+  | None -> Alcotest.fail "large frame not delivered");
+  Tcplink.close a;
+  Tcplink.close b
+
+let test_tcp_snapshot_has_link_metrics () =
+  let loop = Loop.create ~base:(Unix.gettimeofday ()) () in
+  let a, b = make_pair loop (port_base ()) in
+  Alcotest.(check bool) "mesh connects" true
+    (Tcplink.wait_connected a ~timeout:5.0);
+  (Tcplink.transport a).Transport.set_handler 0 (fun _ -> ());
+  (Tcplink.transport b).Transport.set_handler 1 (fun _ -> ());
+  (Tcplink.transport a).Transport.send ~lane:Transport.Data ~src:0 ~dst:1 "x";
+  Loop.run loop ~until:0.8;
+  let snap = Tcplink.snapshot a in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " present") true (List.mem_assoc key snap))
+    [ "link.frames_sent"; "link.bytes_sent"; "link.connects";
+      "link.hb_rtt_ms.count"; "link.hb_rtt_ms.p95" ];
+  Alcotest.(check bool) "heartbeats measured" true
+    (List.assoc "link.hb_rtt_ms.count" snap > 0.0);
+  Tcplink.close a;
+  Tcplink.close b
+
+(* --- coordinator plumbing --- *)
+
+let test_blocks_partition_pids () =
+  Alcotest.(check (list (list int)))
+    "5 over 2" [ [ 0; 1; 2 ]; [ 3; 4 ] ]
+    (Coordinator.blocks ~n:5 ~k:2);
+  Alcotest.(check (list (list int)))
+    "4 over 4" [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ]
+    (Coordinator.blocks ~n:4 ~k:4);
+  Alcotest.(check (list (list int)))
+    "7 over 3" [ [ 0; 1; 2 ]; [ 3; 4 ]; [ 5; 6 ] ]
+    (Coordinator.blocks ~n:7 ~k:3)
+
+let test_host_port_parses () =
+  List.iter
+    (fun (input, expect) ->
+      match (Validate.host_port input, expect) with
+      | Ok got, Some want ->
+          Alcotest.(check (pair string int)) input want got
+      | Error _, None -> ()
+      | Ok _, None -> Alcotest.failf "%S accepted" input
+      | Error msg, Some _ -> Alcotest.failf "%S rejected: %s" input msg)
+    [
+      ("localhost:7800", Some ("localhost", 7800));
+      ("10.0.0.2:1", Some ("10.0.0.2", 1));
+      ("host:65535", Some ("host", 65535));
+      ("host:0", None);
+      ("host:65536", None);
+      ("host:", None);
+      (":7800", None);
+      ("7800", None);
+      ("host:seven", None);
+    ]
+
+(* --- end to end: two forked agents, real SIGKILL, strict lint --- *)
+
+let lint_clean path =
+  match Check.Lint.run ~only:[] ~ignore:[] path with
+  | Error msg -> Alcotest.fail msg
+  | Ok report ->
+      Alcotest.(check int) "lint errors" 0 (Check.Lint.errors report);
+      Alcotest.(check int) "lint warnings" 0 (Check.Lint.warnings report);
+      Alcotest.(check int) "parse errors" 0 report.Check.Lint.parse_errors
+
+let test_cluster_run_with_crash () =
+  let out = Filename.concat (temp_dir ()) "cl" in
+  let base = port_base () in
+  let cfg =
+    {
+      Coordinator.default_cfg with
+      Coordinator.cc_out = out;
+      cc_n = 4;
+      cc_seed = 42L;
+      cc_duration = 1.6;
+      cc_settle = 1.4;
+      cc_rate = 6.0;
+      cc_hops = 3;
+      cc_kills = [ (0.7, 1) ];
+      cc_worker_base = base + 8;
+    }
+  in
+  match Coordinator.run_forked ~port_base:base ~agents:2 cfg with
+  | Error msg -> Alcotest.failf "cluster run failed: %s" msg
+  | Ok r ->
+      Alcotest.(check int) "one crash injected" 1 r.Coordinator.cs_crashes;
+      Alcotest.(check int) "every final incarnation exits clean" 4
+        r.Coordinator.cs_clean_exits;
+      Alcotest.(check bool) "events recorded" true
+        (r.Coordinator.cs_events > 50);
+      let restarted = ref false and tcp_snapshot = ref false in
+      Trace.iter_file r.Coordinator.cs_merged ~f:(fun ~line:_ -> function
+        | Ok { Trace.pid = 1; kind = Trace.Restart { new_ver }; _ }
+          when new_ver >= 1 ->
+            restarted := true
+        | Ok { Trace.kind = Trace.Snapshot { values; _ }; _ }
+          when List.mem_assoc "link.frames_sent" values ->
+            tcp_snapshot := true
+        | _ -> ());
+      Alcotest.(check bool) "killed worker restarted over TCP" true !restarted;
+      Alcotest.(check bool) "link metrics snapshotted" true !tcp_snapshot;
+      Alcotest.(check bool) "chrome timeline written" true
+        (Sys.file_exists r.Coordinator.cs_chrome);
+      lint_clean r.Coordinator.cs_merged
+
+let suite =
+  [
+    Alcotest.test_case "tcp link: data and control delivery" `Quick
+      test_tcp_data_and_control;
+    Alcotest.test_case "tcp link: control reaches a late peer" `Quick
+      test_tcp_control_reaches_late_peer;
+    Alcotest.test_case "tcp link: reconnects after peer restart" `Quick
+      test_tcp_reconnects_after_peer_restart;
+    Alcotest.test_case "tcp link: large frame reassembly" `Quick
+      test_tcp_large_frame;
+    Alcotest.test_case "tcp link: snapshot carries link metrics" `Quick
+      test_tcp_snapshot_has_link_metrics;
+    Alcotest.test_case "coordinator: pid blocks are contiguous" `Quick
+      test_blocks_partition_pids;
+    Alcotest.test_case "validate: host:port endpoints" `Quick
+      test_host_port_parses;
+    Alcotest.test_case "two-agent cluster run with SIGKILL recovery" `Slow
+      test_cluster_run_with_crash;
+  ]

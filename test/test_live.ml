@@ -146,6 +146,47 @@ let test_livenet_data_to_dead_peer_is_dropped () =
   Alcotest.(check int) "counted as a wire drop" 1 errors;
   Livenet.close a
 
+let test_livenet_one_way_partition_heals () =
+  (* A sustained one-way partition (only the sender's gate is configured,
+     so the reverse path stays open): control frames pile up unacked
+     while the window is shut, then heal through retransmission — and the
+     receiver's dedup must keep delivery exactly-once despite every
+     retransmit that piled up arriving at once. *)
+  let dir = temp_dir () in
+  let loop = Loop.create ~base:(Unix.gettimeofday ()) () in
+  let faults =
+    {
+      Livenet.no_faults with
+      Livenet.partitions =
+        [ { Livenet.pt_start = 0.0; pt_stop = 0.25; pt_island = [ 0 ] } ];
+    }
+  in
+  let a =
+    Livenet.create ~retransmit_every:0.02 ~faults ~loop ~dir ~me:0 ~n:2
+      ~seed:21L ()
+  in
+  let b = Livenet.create ~loop ~dir ~me:1 ~n:2 ~seed:22L () in
+  let got = ref [] in
+  (Livenet.transport b).Transport.set_handler 1 (fun m -> got := m :: !got);
+  (Livenet.transport a).Transport.set_handler 0 (fun _ -> ());
+  (Livenet.transport a).Transport.send ~lane:Transport.Control ~src:0 ~dst:1
+    "t1";
+  (Livenet.transport a).Transport.send ~lane:Transport.Control ~src:0 ~dst:1
+    "t2";
+  Loop.run loop ~until:0.15;
+  Alcotest.(check int) "unacked grows while partitioned" 2
+    (Livenet.unacked_count a);
+  Alcotest.(check (list string)) "nothing crossed the partition" [] !got;
+  Alcotest.(check bool) "sends were gated, not lost silently" true
+    (List.assoc "partition_blocked" (Livenet.stats a) > 0);
+  Loop.run loop ~until:0.6;
+  Alcotest.(check (list string)) "delivered exactly once after heal"
+    [ "t1"; "t2" ] (List.sort compare !got);
+  Alcotest.(check int) "drained to zero after heal" 0
+    (Livenet.unacked_count a);
+  Livenet.close a;
+  Livenet.close b
+
 (* --- merge --- *)
 
 let test_merge_orders_and_deduplicates_headers () =
@@ -386,6 +427,21 @@ let test_supervisor_validates () =
   check_invalid "fault after window"
     { Supervisor.default_cfg with Supervisor.faults = [ (99.0, 0) ] };
   check_invalid "zero rate" { Supervisor.default_cfg with Supervisor.rate = 0.0 };
+  check_invalid "dir overflows sun_path"
+    {
+      Supervisor.default_cfg with
+      Supervisor.dir = Filename.concat (String.make 120 'x') "run";
+    };
+  (let contains hay needle =
+     let nh = String.length hay and nn = String.length needle in
+     let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+     go 0
+   in
+   match Livenet.check_dir ~dir:(String.make 120 'x') ~n:4 with
+   | Ok () -> Alcotest.fail "long dir accepted"
+   | Error msg ->
+       Alcotest.(check bool) "error names the limit" true
+         (contains msg "sun_path"));
   Supervisor.validate Supervisor.default_cfg
 
 let suite =
@@ -401,6 +457,8 @@ let suite =
       test_livenet_control_retransmits_to_late_peer;
     Alcotest.test_case "livenet: data to dead peer drops" `Quick
       test_livenet_data_to_dead_peer_is_dropped;
+    Alcotest.test_case "livenet: one-way partition heals exactly-once" `Quick
+      test_livenet_one_way_partition_heals;
     Alcotest.test_case "merge: global order and single header" `Quick
       test_merge_orders_and_deduplicates_headers;
     Alcotest.test_case "merge: identical timestamps keep a stable order" `Quick

@@ -24,4 +24,5 @@ let () =
       ("docs", Test_docs.suite);
       ("live", Test_live.suite);
       ("soak", Test_soak.suite);
+      ("cluster", Test_cluster.suite);
     ]
